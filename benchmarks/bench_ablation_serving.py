@@ -1,0 +1,114 @@
+"""Ablation — vector search serving on vs off during scale-out.
+
+Isolates the §II-D serving design: with serving disabled, a freshly
+scaled warehouse falls back to brute-force scans for every moved segment
+until background loads finish (the Manu-style behaviour the paper
+contrasts against); with serving enabled the same queries borrow the
+previous owners' caches over RPC.  Measured is the mean query latency in
+the window right after scaling, before any background load completes.
+"""
+
+import pytest
+
+from benchmarks.common import BENCH_COST, fmt_table, record
+from repro.cluster.engine import ClusteredBlendHouse
+from repro.cluster.warehouse import WarehouseConfig
+from repro.simulate.metrics import LatencyRecorder
+from repro.workloads.datasets import make_cohere_like
+
+FIG_COST = BENCH_COST.scaled(rpc_round_trip_s=1e-4)
+N_QUERIES = 10
+
+
+def vector_sql(vector):
+    return "[" + ",".join(f"{float(x):.6f}" for x in vector) + "]"
+
+
+def _scaled_latency(serving_enabled: bool) -> dict:
+    dataset = make_cohere_like(n=40_000, dim=64, n_queries=N_QUERIES, seed=31)
+    cluster = ClusteredBlendHouse(
+        read_workers=2,
+        cost_model=FIG_COST,
+        warehouse_config=WarehouseConfig(serving_enabled=serving_enabled),
+    )
+    cluster.execute(
+        f"CREATE TABLE bench (id UInt64, attr Int64, embedding Array(Float32), "
+        f"INDEX ann embedding TYPE IVFFLAT('DIM={dataset.dim}'))"
+    )
+    cluster.db.table("bench").writer.config.max_segment_rows = 8000
+    cluster.insert_columns(
+        "bench",
+        {"id": dataset.scalars["id"], "attr": dataset.scalars["attr"]},
+        dataset.vectors,
+    )
+    cluster.preload("bench")
+
+    def run_pass():
+        recorder = LatencyRecorder()
+        for query in dataset.queries:
+            sql = (
+                f"SELECT id FROM bench ORDER BY "
+                f"L2Distance(embedding, {vector_sql(query)}) LIMIT 10"
+            )
+            start = cluster.clock.now
+            cluster.execute(sql)
+            recorder.record(cluster.clock.now - start)
+        return recorder.summary().mean
+
+    run_pass()  # warmup
+    warm = run_pass()
+    # Freeze background warm-up so the whole pass measures the
+    # immediately-after-scaling state.
+    for worker in cluster.read_vw.workers.values():
+        worker.schedule_background_load = lambda key: None
+    cluster.scale_to(3)
+    for worker in cluster.read_vw.workers.values():
+        worker.schedule_background_load = lambda key: None
+    after_scale = run_pass()
+    return {
+        "warm": warm,
+        "after_scale": after_scale,
+        "serving_calls": cluster.metrics.count("worker.serving_calls"),
+        "brute_fallbacks": cluster.metrics.count("worker.brute_fallbacks"),
+    }
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        "serving on": _scaled_latency(True),
+        "serving off": _scaled_latency(False),
+    }
+
+
+def test_ablation_serving(benchmark, results):
+    rows = []
+    for label, values in results.items():
+        rows.append([
+            label,
+            values["warm"] * 1e3,
+            values["after_scale"] * 1e3,
+            values["after_scale"] / values["warm"],
+            values["serving_calls"],
+            values["brute_fallbacks"],
+        ])
+    print(fmt_table(
+        "Ablation: latency right after scale-out, serving on vs off (sim ms)",
+        ["config", "warm", "after scale", "degradation x",
+         "serving RPCs", "brute fallbacks"],
+        rows,
+    ))
+    record(benchmark, "after_scale_ms", {
+        label: values["after_scale"] * 1e3 for label, values in results.items()
+    })
+
+    on = results["serving on"]
+    off = results["serving off"]
+    assert on["serving_calls"] > 0
+    assert off["serving_calls"] == 0 and off["brute_fallbacks"] > 0
+    # Serving keeps post-scaling latency well below the brute fallback.
+    assert on["after_scale"] < off["after_scale"] * 0.75
+    # And close to warm-cache latency.
+    assert on["after_scale"] < 4 * on["warm"]
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

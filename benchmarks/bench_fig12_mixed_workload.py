@@ -1,0 +1,79 @@
+"""Fig 12 — read/write interference: isolated vs mixed virtual warehouses.
+
+Paper: co-locating the write workload with vector search on one VW drops
+read QPS as write concurrency rises; dedicated VWs (read-write
+separation over the disaggregated architecture) eliminate the
+interference entirely.  We sweep write concurrency 0..8 against a
+warehouse of 8-core-equivalent capacity and measure read QPS in both
+placements.
+"""
+
+import pytest
+
+from benchmarks.common import BENCH_COST, fmt_table, record
+from benchmarks.conftest import HNSW_OPTIONS
+from repro.cluster.engine import ClusteredBlendHouse
+from repro.workloads.vectorbench import make_hybrid_workload, qps_from_latencies
+
+WRITE_CONCURRENCY = [0, 1, 2, 4, 8]
+VW_CORES = 10  # capacity units per warehouse
+
+
+@pytest.fixture(scope="module")
+def cluster(cohere_ds):
+    engine = ClusteredBlendHouse(read_workers=2, cost_model=BENCH_COST)
+    engine.execute(
+        f"CREATE TABLE bench (id UInt64, attr Int64, embedding Array(Float32), "
+        f"INDEX ann embedding TYPE HNSW('DIM={cohere_ds.dim}', '{HNSW_OPTIONS}'))"
+    )
+    engine.db.table("bench").writer.config.max_segment_rows = 1500
+    engine.insert_columns(
+        "bench",
+        {"id": cohere_ds.scalars["id"], "attr": cohere_ds.scalars["attr"]},
+        cohere_ds.vectors,
+    )
+    engine.preload("bench")
+    return engine
+
+
+def _read_qps(cluster, workload, background_load):
+    cluster.read_vw.background_load = background_load
+    latencies = []
+    for qi in range(len(workload.queries)):
+        start = cluster.clock.now
+        cluster.execute(workload.sql(qi))
+        latencies.append(cluster.clock.now - start)
+    cluster.read_vw.background_load = 0.0
+    return qps_from_latencies(latencies)
+
+
+def test_fig12_mixed_workload_interference(benchmark, cluster, cohere_ds):
+    workload = make_hybrid_workload(cohere_ds, k=10, pass_fraction=0.99)
+    # Warmup caches so the sweep is steady state.
+    _read_qps(cluster, workload, 0.0)
+
+    rows = []
+    series = {"mixed": [], "isolated": []}
+    for writers in WRITE_CONCURRENCY:
+        mixed_load = min(0.9, writers / VW_CORES)
+        mixed = _read_qps(cluster, workload, mixed_load)
+        isolated = _read_qps(cluster, workload, 0.0)  # dedicated write VW
+        rows.append([writers, isolated, mixed])
+        series["mixed"].append(mixed)
+        series["isolated"].append(isolated)
+    print(fmt_table(
+        "Fig 12: read QPS vs write concurrency (simulated)",
+        ["writers", "isolated VWs QPS", "mixed VW QPS"],
+        rows,
+    ))
+    record(benchmark, "series", series)
+
+    # Shapes: mixed QPS decreases monotonically with write concurrency;
+    # isolated QPS is flat; at high concurrency the gap is substantial.
+    mixed = series["mixed"]
+    assert all(mixed[i] >= mixed[i + 1] * 0.999 for i in range(len(mixed) - 1))
+    isolated = series["isolated"]
+    assert max(isolated) < 1.15 * min(isolated)
+    assert isolated[-1] > 1.3 * mixed[-1]
+
+    benchmark(lambda: cluster.execute(workload.sql(0)))

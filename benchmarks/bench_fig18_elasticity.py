@@ -1,0 +1,107 @@
+"""Fig 18 — immediate query QPS in response to scaling.
+
+Paper: QPS rises almost linearly as the read warehouse scales, and —
+unlike load-before-serve systems (Manu) — newly added workers
+contribute immediately because vector search serving bridges their cold
+caches.  We run a continuous hybrid workload on the simulated clock,
+scale the warehouse at fixed marks, and record QPS per time window.
+
+The table uses per-segment FLAT indexes so per-worker scan compute
+dominates the query (the regime where the paper's near-linear scaling
+is visible); the serving/elasticity machinery is index-type agnostic.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import BENCH_COST, fmt_table, record
+from repro.cluster.engine import ClusteredBlendHouse
+from repro.cluster.warehouse import WarehouseConfig
+from repro.simulate.metrics import ThroughputWindow
+from repro.workloads.datasets import make_cohere_like
+
+SCALE_STEPS = [2, 4, 6, 8]
+QUERIES_PER_PHASE = 60
+FIG18_COST = BENCH_COST.scaled(rpc_round_trip_s=1e-4)
+
+
+def vector_sql(vector):
+    return "[" + ",".join(f"{float(x):.6f}" for x in vector) + "]"
+
+
+@pytest.fixture(scope="module")
+def elasticity():
+    dataset = make_cohere_like(n=30_000, dim=64, n_queries=40, seed=21)
+    cluster = ClusteredBlendHouse(
+        read_workers=SCALE_STEPS[0],
+        cost_model=FIG18_COST,
+        warehouse_config=WarehouseConfig(serving_enabled=True),
+    )
+    cluster.execute(
+        f"CREATE TABLE bench (id UInt64, attr Int64, embedding Array(Float32), "
+        f"INDEX ann embedding TYPE FLAT('DIM={dataset.dim}'))"
+    )
+    cluster.db.table("bench").writer.config.max_segment_rows = 950
+    cluster.insert_columns(
+        "bench",
+        {"id": dataset.scalars["id"], "attr": dataset.scalars["attr"]},
+        dataset.vectors,
+    )
+    cluster.preload("bench")
+
+    window = ThroughputWindow(bucket_seconds=0.005)
+    phase_qps = {}
+    query_index = 0
+
+    def run_phase(workers):
+        nonlocal query_index
+        start = cluster.clock.now
+        for _ in range(QUERIES_PER_PHASE):
+            query = dataset.queries[query_index % len(dataset.queries)]
+            query_index += 1
+            sql = (
+                f"SELECT id FROM bench WHERE attr < 9900 ORDER BY "
+                f"L2Distance(embedding, {vector_sql(query)}) LIMIT 10"
+            )
+            cluster.execute(sql)
+            window.record(cluster.clock.now)
+        elapsed = cluster.clock.now - start
+        phase_qps[workers] = QUERIES_PER_PHASE / elapsed
+
+    run_phase(SCALE_STEPS[0])  # warmup (cold caches, first plans)
+    run_phase(SCALE_STEPS[0])  # measured baseline phase
+    start_serving = cluster.metrics.count("worker.serving_calls")
+    for workers in SCALE_STEPS[1:]:
+        cluster.scale_to(workers)
+        run_phase(workers)
+    serving_used = cluster.metrics.count("worker.serving_calls") - start_serving
+    return phase_qps, window.series(), serving_used
+
+
+def test_fig18_elasticity(benchmark, elasticity):
+    phase_qps, series, serving_used = elasticity
+    rows = [[workers, qps] for workers, qps in phase_qps.items()]
+    print(fmt_table(
+        "Fig 18: steady QPS per scaling phase (simulated)",
+        ["workers", "QPS"],
+        rows,
+    ))
+    print(fmt_table(
+        "Fig 18: QPS over time while scaling (window = 5 sim-ms)",
+        ["sim time (s)", "QPS"],
+        [[t, qps] for t, qps in series if qps > 0][:24],
+    ))
+    record(benchmark, "phase_qps", {str(k): v for k, v in phase_qps.items()})
+
+    assert serving_used > 0, "new workers must serve through RPC immediately"
+    qps_values = [phase_qps[w] for w in SCALE_STEPS]
+    # QPS grows with scale: strictly over the full range, and each step
+    # is at worst a small regression (consistent hashing rebalances are
+    # not perfectly even at every size).
+    assert all(
+        qps_values[i + 1] > 0.85 * qps_values[i] for i in range(len(qps_values) - 1)
+    )
+    overall = qps_values[-1] / qps_values[0]
+    assert overall > 1.8, f"8 vs 2 workers should give near-linear gains, got {overall:.2f}x"
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,78 @@
+"""Session-scoped worlds shared by the benchmark files.
+
+Building HNSW indexes dominates benchmark wall time, so datasets and
+loaded systems are built once per pytest session and shared.  Benchmarks
+must leave shared engines in a clean state (reset any SET overrides they
+apply).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import load_blendhouse
+from repro.baselines import MilvusLike, PgVectorLike
+from repro.workloads.datasets import (
+    make_cohere_like,
+    make_laion_like,
+    make_openai_like,
+    make_production_like,
+)
+
+HNSW_PARAMS = {"m": 8, "ef_construction": 64}
+HNSW_OPTIONS = "M=8, ef_construction=64"
+
+
+@pytest.fixture(scope="session")
+def cohere_ds():
+    return make_cohere_like(n=3000, dim=32, n_queries=40)
+
+
+@pytest.fixture(scope="session")
+def openai_ds():
+    return make_openai_like(n=4000, dim=48, n_queries=30)
+
+
+@pytest.fixture(scope="session")
+def laion_ds():
+    return make_laion_like(n=2500, dim=32, n_queries=30)
+
+
+@pytest.fixture(scope="session")
+def production_ds():
+    return make_production_like(n=3000, dim=32, n_queries=30)
+
+
+@pytest.fixture(scope="session")
+def bh_cohere(cohere_ds):
+    """BlendHouse with the Cohere-like dataset under an HNSW index."""
+    return load_blendhouse(cohere_ds, index_type="HNSW", index_options=HNSW_OPTIONS)
+
+
+@pytest.fixture(scope="session")
+def milvus_cohere(cohere_ds):
+    system = MilvusLike()
+    system.load(
+        cohere_ds.vectors, cohere_ds.scalars,
+        index_type="HNSW", index_params=dict(HNSW_PARAMS),
+    )
+    return system
+
+
+@pytest.fixture(scope="session")
+def pgvector_cohere(cohere_ds):
+    system = PgVectorLike()
+    system.load(
+        cohere_ds.vectors, cohere_ds.scalars,
+        index_type="HNSW", index_params=dict(HNSW_PARAMS),
+    )
+    return system
+
+
+@pytest.fixture
+def reset_settings(bh_cohere):
+    """Restore the shared engine's settings after a bench mutates them."""
+    yield bh_cohere
+    from repro.core.database import EngineSettings
+
+    bh_cohere.settings = EngineSettings()

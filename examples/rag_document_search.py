@@ -1,0 +1,147 @@
+"""RAG document retrieval: hybrid filtered search over a document corpus.
+
+The paper's motivating workload — Retrieval-Augmented Generation — needs
+top-k semantic retrieval restricted by metadata (source, freshness,
+language).  This example builds a chunked "document corpus", then shows:
+
+* how the cost-based optimizer changes strategy as the filter narrows,
+* the parameterized plan cache absorbing a repetitive query stream,
+* iterative (post-filter) search keeping recall high where a
+  non-iterative engine would starve.
+
+Run:  python examples/rag_document_search.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BlendHouse
+from repro.workloads.recall import ground_truth, recall_at_k
+
+DIM = 48
+N_CHUNKS = 4000
+SOURCES = ["wiki", "docs", "blog", "paper"]
+LANGS = ["en", "de", "ja"]
+
+
+def vector_literal(vector: np.ndarray) -> str:
+    return "[" + ",".join(f"{float(x):.6f}" for x in vector) + "]"
+
+
+def build_corpus(db: BlendHouse, rng: np.random.Generator) -> np.ndarray:
+    db.execute(
+        f"""
+        CREATE TABLE chunks (
+          id UInt64,
+          source String,
+          lang String,
+          freshness UInt64,
+          embedding Array(Float32),
+          INDEX ann embedding TYPE HNSW('DIM={DIM}', 'M=8, ef_construction=64')
+        )
+        PARTITION BY source
+        """
+    )
+    # Topic-clustered embeddings, like a real encoder would produce.
+    centers = rng.normal(size=(12, DIM)).astype(np.float32)
+    topics = rng.integers(0, 12, size=N_CHUNKS)
+    vectors = centers[topics] + rng.normal(scale=0.3, size=(N_CHUNKS, DIM)).astype(
+        np.float32
+    )
+    vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+    db.insert_columns(
+        "chunks",
+        {
+            "id": np.arange(N_CHUNKS, dtype=np.uint64),
+            "source": [SOURCES[int(rng.integers(4))] for _ in range(N_CHUNKS)],
+            "lang": [LANGS[int(rng.integers(3))] for _ in range(N_CHUNKS)],
+            "freshness": rng.integers(0, 365, size=N_CHUNKS).astype(np.uint64),
+        },
+        vectors,
+    )
+    return vectors
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    db = BlendHouse()
+    vectors = build_corpus(db, rng)
+    question = vectors[123] + rng.normal(scale=0.05, size=DIM).astype(np.float32)
+
+    # ------------------------------------------------------------------
+    # 1. The optimizer adapts to the filter's selectivity.
+    # ------------------------------------------------------------------
+    print("strategy by filter width:")
+    for description, where in [
+        ("no filter (pure retrieval)", ""),
+        ("wide filter (~75% pass)", "WHERE freshness < 270"),
+        ("narrow filter (~2% pass)", "WHERE freshness < 7"),
+    ]:
+        sql = (
+            f"SELECT id, dist FROM chunks {where} "
+            f"ORDER BY L2Distance(embedding, {vector_literal(question)}) AS dist "
+            f"LIMIT 8"
+        )
+        result = db.execute(sql)
+        print(f"  {description:28s} -> {result.strategy.value:12s} "
+              f"({len(result)} hits)")
+
+    # ------------------------------------------------------------------
+    # 2. Repetitive RAG traffic: the plan cache removes per-query
+    #    planning overhead (same query shape, different vectors).
+    # ------------------------------------------------------------------
+    latencies = []
+    for i in range(30):
+        q = vectors[rng.integers(N_CHUNKS)] + rng.normal(
+            scale=0.05, size=DIM
+        ).astype(np.float32)
+        sql = (
+            f"SELECT id, dist FROM chunks WHERE source = 'wiki' "
+            f"ORDER BY L2Distance(embedding, {vector_literal(q)}) AS dist LIMIT 8"
+        )
+        start = db.clock.now
+        db.execute(sql)
+        latencies.append(db.clock.now - start)
+    print(f"\nplan cache: first query {latencies[0] * 1e3:.3f} sim-ms, "
+          f"steady state {np.mean(latencies[5:]) * 1e3:.3f} sim-ms "
+          f"({db.plan_cache.hits} cache hits)")
+
+    # ------------------------------------------------------------------
+    # 3. Narrow filters + iterative search: recall holds where a
+    #    one-shot post-filter would starve.
+    # ------------------------------------------------------------------
+    lang_mask = np.array([lang == "ja" for lang in
+                          db.table("chunks").manager.segments()[0].scalar_column("lang")])
+    # Build the filtered ground truth over the whole corpus.
+    all_langs = []
+    for segment in db.table("chunks").manager.segments():
+        all_langs.extend(segment.scalar_column("lang"))
+    ids_in_order = []
+    for segment in db.table("chunks").manager.segments():
+        ids_in_order.extend(segment.scalar_column("id").tolist())
+    mask = np.zeros(N_CHUNKS, dtype=bool)
+    for row_id, lang in zip(ids_in_order, all_langs):
+        mask[row_id] = lang == "ja"
+
+    queries = np.stack([
+        vectors[rng.integers(N_CHUNKS)] + rng.normal(scale=0.05, size=DIM).astype(np.float32)
+        for _ in range(10)
+    ])
+    truth = ground_truth(vectors, queries, 8, masks=[mask] * 10)
+    results = []
+    for q in queries:
+        out = db.execute(
+            f"SELECT id FROM chunks WHERE lang = 'ja' "
+            f"ORDER BY L2Distance(embedding, {vector_literal(q)}) LIMIT 8"
+        )
+        results.append([row[0] for row in out.rows])
+    print(f"\nfiltered retrieval recall@8 (lang='ja', ~33% pass): "
+          f"{recall_at_k(results, truth, 8):.3f}")
+    print("engine metrics:",
+          {k: v for k, v in db.metrics.counters.items()
+           if k.startswith(("planner", "pruning"))})
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""BlendHouse reproduction: a cloud-native generalized vector database.
+
+Reproduces *BlendHouse: A Cloud-Native Vector Database System in
+ByteHouse* (ICDE 2025) as a self-contained Python library: a SQL-fronted
+hybrid-query engine over a simulated disaggregated storage/compute
+substrate, a from-scratch pluggable ANN index library, a virtual-
+warehouse cluster runtime with multi-probe consistent hashing and vector
+search serving, and behavioural baselines (Milvus-like, pgvector-like)
+for the paper's comparisons.
+
+Quickstart::
+
+    from repro import BlendHouse
+
+    db = BlendHouse()
+    db.execute(
+        "CREATE TABLE docs (id UInt64, label String, "
+        "embedding Array(Float32), "
+        "INDEX ann embedding TYPE HNSW('DIM=64'))"
+    )
+    db.insert_rows("docs", rows)
+    result = db.execute(
+        "SELECT id, dist FROM docs WHERE label = 'news' "
+        "ORDER BY L2Distance(embedding, [0.1, ...]) AS dist LIMIT 10"
+    )
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.cluster.engine import ClusteredBlendHouse
+from repro.core.database import BlendHouse, EngineSettings
+from repro.errors import BlendHouseError
+from repro.executor.pipeline import QueryResult
+from repro.simulate.clock import SimulatedClock
+from repro.simulate.costmodel import DeviceCostModel
+from repro.vindex.registry import IndexSpec, create_index, registered_types
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlendHouse",
+    "BlendHouseError",
+    "ClusteredBlendHouse",
+    "DeviceCostModel",
+    "EngineSettings",
+    "IndexSpec",
+    "QueryResult",
+    "SimulatedClock",
+    "__version__",
+    "create_index",
+    "registered_types",
+]

@@ -1,0 +1,21 @@
+"""Baseline systems the paper compares against.
+
+Faithful *behavioural* models of the open-source comparators, built on
+the same index algorithms and the same simulated cost substrate so the
+comparisons isolate system design, not index quality:
+
+* :class:`repro.baselines.milvus_like.MilvusLike` — a specialized vector
+  database: blocking (write-then-build) ingestion, pre-filter bitset
+  search with a brute-force switch at very low pass rates, heavier
+  per-query coordination overhead (proxy/queue hops).
+* :class:`repro.baselines.pgvector_like.PgVectorLike` — a generalized
+  standalone extension: single-process (slowest) index build, efficient
+  executor, but *post-filter only without iterative search* — the recall
+  collapse the paper reports at high filtered-out fractions.
+"""
+
+from repro.baselines.common import BaselineVectorDB
+from repro.baselines.milvus_like import MilvusLike
+from repro.baselines.pgvector_like import PgVectorLike
+
+__all__ = ["BaselineVectorDB", "MilvusLike", "PgVectorLike"]

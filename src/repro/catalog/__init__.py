@@ -1,0 +1,20 @@
+"""Catalog: table schemas, the table registry, and data statistics.
+
+Statistics power the cost-based optimizer: the selectivity ``s`` in the
+paper's cost model (Table II) is "estimated with histograms", implemented
+in :mod:`repro.catalog.statistics`.
+"""
+
+from repro.catalog.catalog import Catalog, TableEntry
+from repro.catalog.schema import ColumnType, TableSchema, column_type_from_ddl
+from repro.catalog.statistics import EquiWidthHistogram, TableStatistics
+
+__all__ = [
+    "Catalog",
+    "ColumnType",
+    "EquiWidthHistogram",
+    "TableEntry",
+    "TableSchema",
+    "TableStatistics",
+    "column_type_from_ddl",
+]

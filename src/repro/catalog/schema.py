@@ -1,0 +1,222 @@
+"""Table schemas and column types for the SQL dialect.
+
+Types mirror the ClickHouse-flavoured dialect of the paper's Example 1:
+``UInt64``, ``Int64``, ``Float32``, ``Float64``, ``String``, ``DateTime``
+(modelled as integer timestamps), and ``Array(Float32)`` for the vector
+column.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.sqlparser.ast_nodes import ColumnDef, Expression
+from repro.vindex.registry import IndexSpec
+
+
+class ColumnType(enum.Enum):
+    """Supported column types."""
+
+    UINT64 = "UInt64"
+    INT64 = "Int64"
+    FLOAT32 = "Float32"
+    FLOAT64 = "Float64"
+    STRING = "String"
+    DATETIME = "DateTime"
+    VECTOR = "Array(Float32)"
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values order numerically (histogram-able)."""
+        return self in (
+            ColumnType.UINT64,
+            ColumnType.INT64,
+            ColumnType.FLOAT32,
+            ColumnType.FLOAT64,
+            ColumnType.DATETIME,
+        )
+
+    def numpy_dtype(self) -> Optional[np.dtype]:
+        """The numpy dtype backing this column, or None for strings."""
+        mapping = {
+            ColumnType.UINT64: np.dtype(np.uint64),
+            ColumnType.INT64: np.dtype(np.int64),
+            ColumnType.FLOAT32: np.dtype(np.float32),
+            ColumnType.FLOAT64: np.dtype(np.float64),
+            ColumnType.DATETIME: np.dtype(np.int64),
+        }
+        return mapping.get(self)
+
+
+def column_type_from_ddl(type_name: str, type_args: Sequence[str] = ()) -> ColumnType:
+    """Map a DDL type token to a :class:`ColumnType`.
+
+    Raises
+    ------
+    SchemaError
+        For unsupported type names or unsupported Array element types.
+    """
+    normalized = type_name.lower()
+    if normalized == "array":
+        element = (type_args[0].lower() if type_args else "")
+        if element != "float32":
+            raise SchemaError(
+                f"only Array(Float32) vector columns are supported, got Array({element})"
+            )
+        return ColumnType.VECTOR
+    by_name = {
+        "uint64": ColumnType.UINT64,
+        "uint32": ColumnType.UINT64,
+        "int64": ColumnType.INT64,
+        "int32": ColumnType.INT64,
+        "float32": ColumnType.FLOAT32,
+        "float64": ColumnType.FLOAT64,
+        "string": ColumnType.STRING,
+        "datetime": ColumnType.DATETIME,
+    }
+    if normalized not in by_name:
+        raise SchemaError(f"unsupported column type {type_name!r}")
+    return by_name[normalized]
+
+
+@dataclass
+class TableSchema:
+    """Everything DDL declares about a table.
+
+    Exactly one vector column is supported per table (the paper's tables
+    have one embedding column); its dimensionality comes from the index
+    definition's ``DIM`` option or is inferred from the first insert.
+    """
+
+    name: str
+    columns: Dict[str, ColumnType]
+    column_order: List[str]
+    vector_column: Optional[str] = None
+    vector_dim: int = 0
+    index_spec: Optional[IndexSpec] = None
+    order_by: List[str] = field(default_factory=list)
+    partition_by: List[Expression] = field(default_factory=list)
+    cluster_by: Optional[str] = None
+    cluster_buckets: int = 0
+
+    @classmethod
+    def from_ddl(
+        cls,
+        name: str,
+        column_defs: Sequence[ColumnDef],
+        index_spec: Optional[IndexSpec] = None,
+        order_by: Optional[List[str]] = None,
+        partition_by: Optional[List[Expression]] = None,
+        cluster_by: Optional[str] = None,
+        cluster_buckets: int = 0,
+    ) -> "TableSchema":
+        """Build a schema from parsed CREATE TABLE pieces."""
+        columns: Dict[str, ColumnType] = {}
+        order: List[str] = []
+        vector_column = None
+        for col in column_defs:
+            if col.name in columns:
+                raise SchemaError(f"duplicate column {col.name!r}")
+            ctype = column_type_from_ddl(col.type_name, col.type_args)
+            columns[col.name] = ctype
+            order.append(col.name)
+            if ctype is ColumnType.VECTOR:
+                if vector_column is not None:
+                    raise SchemaError("only one vector column per table is supported")
+                vector_column = col.name
+        if index_spec is not None and vector_column is None:
+            raise SchemaError("vector index declared but table has no vector column")
+        if index_spec is not None and index_spec.column != vector_column:
+            raise SchemaError(
+                f"index column {index_spec.column!r} is not the vector column "
+                f"{vector_column!r}"
+            )
+        if cluster_by is not None and cluster_by != vector_column:
+            raise SchemaError(
+                f"CLUSTER BY column {cluster_by!r} must be the vector column"
+            )
+        for key in order_by or []:
+            if key not in columns:
+                raise SchemaError(f"ORDER BY references unknown column {key!r}")
+        return cls(
+            name=name,
+            columns=columns,
+            column_order=order,
+            vector_column=vector_column,
+            vector_dim=index_spec.dim if index_spec else 0,
+            index_spec=index_spec,
+            order_by=list(order_by or []),
+            partition_by=list(partition_by or []),
+            cluster_by=cluster_by,
+            cluster_buckets=cluster_buckets,
+        )
+
+    @property
+    def scalar_columns(self) -> List[str]:
+        """Column names excluding the vector column, in DDL order."""
+        return [c for c in self.column_order if c != self.vector_column]
+
+    def column_type(self, name: str) -> ColumnType:
+        """Type of column ``name``; raises SchemaError if unknown."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise SchemaError(f"table {self.name!r} has no column {name!r}") from None
+
+    def validate_row(self, row: Dict[str, Any]) -> Dict[str, Any]:
+        """Coerce and validate one row dict against the schema.
+
+        Returns the coerced row.  Vector length is checked (and, on the
+        first row of a table without a declared DIM, learned by the
+        caller).
+        """
+        out: Dict[str, Any] = {}
+        for name in self.column_order:
+            if name not in row:
+                raise SchemaError(f"row missing column {name!r}")
+            value = row[name]
+            ctype = self.columns[name]
+            if ctype is ColumnType.VECTOR:
+                vector = np.asarray(value, dtype=np.float32).reshape(-1)
+                if self.vector_dim and vector.shape[0] != self.vector_dim:
+                    raise SchemaError(
+                        f"vector length {vector.shape[0]} != declared DIM {self.vector_dim}"
+                    )
+                out[name] = vector
+            elif ctype is ColumnType.STRING:
+                if not isinstance(value, str):
+                    raise SchemaError(f"column {name!r} expects a string, got {value!r}")
+                out[name] = value
+            else:
+                if isinstance(value, bool) or not isinstance(value, (int, float, np.integer, np.floating)):
+                    raise SchemaError(f"column {name!r} expects a number, got {value!r}")
+                if ctype is ColumnType.UINT64 and value < 0:
+                    raise SchemaError(f"column {name!r} is unsigned but got {value}")
+                out[name] = value
+        extras = set(row) - set(self.column_order)
+        if extras:
+            raise SchemaError(f"row has unknown columns {sorted(extras)}")
+        return out
+
+    def empty_columns(self) -> Tuple[Dict[str, list], List[list]]:
+        """Fresh accumulators for batching rows into a segment."""
+        scalars: Dict[str, list] = {name: [] for name in self.scalar_columns}
+        vectors: List[list] = []
+        return scalars, vectors
+
+    def finalize_columns(self, scalars: Dict[str, list]) -> Dict[str, Any]:
+        """Convert accumulated row lists into final column arrays."""
+        out: Dict[str, Any] = {}
+        for name, values in scalars.items():
+            ctype = self.columns[name]
+            dtype = ctype.numpy_dtype()
+            if dtype is None:
+                out[name] = list(values)
+            else:
+                out[name] = np.asarray(values, dtype=dtype)
+        return out

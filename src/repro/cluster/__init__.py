@@ -1,0 +1,32 @@
+"""The virtual-warehouse cluster runtime (paper §II).
+
+* :mod:`repro.cluster.hashring` — multi-probe consistent hashing for
+  scaling-friendly segment allocation (Fig 3).
+* :mod:`repro.cluster.rpc` — simulated intra-warehouse RPC.
+* :mod:`repro.cluster.worker` — stateless workers with hierarchical
+  (memory + local disk) vector-index caches and a serving endpoint.
+* :mod:`repro.cluster.scheduler` — segment→worker assignment with
+  previous-owner tracking for serving and pruning hooks.
+* :mod:`repro.cluster.serving` — vector search serving: remote access to
+  another worker's index cache instead of brute force (Fig 4).
+* :mod:`repro.cluster.warehouse` — the virtual warehouse: scaling,
+  parallel (makespan-accounted) query execution, preload, failures.
+"""
+
+from repro.cluster.hashring import MultiProbeHashRing
+from repro.cluster.rpc import RpcEndpoint, RpcFabric
+from repro.cluster.scheduler import SegmentScheduler
+from repro.cluster.serving import RemoteSearchProvider
+from repro.cluster.warehouse import VirtualWarehouse, WarehouseConfig
+from repro.cluster.worker import Worker
+
+__all__ = [
+    "MultiProbeHashRing",
+    "RemoteSearchProvider",
+    "RpcEndpoint",
+    "RpcFabric",
+    "SegmentScheduler",
+    "VirtualWarehouse",
+    "WarehouseConfig",
+    "Worker",
+]

@@ -1,0 +1,161 @@
+"""The clustered engine: BlendHouse planning over warehouse execution.
+
+Read/write separation (paper §II-A): ingestion and index building run in
+the core engine (standing in for a dedicated *write* virtual warehouse),
+while SELECTs execute on a *read* virtual warehouse whose stateless
+workers pull indexes from the shared object store.  Both sides share one
+simulated clock, one object store, and one catalog, so experiments can
+scale the read side, fail workers, or co-locate writes without touching
+the planning stack.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.warehouse import VirtualWarehouse, WarehouseConfig
+from repro.core.database import BlendHouse, EngineSettings
+from repro.executor.pipeline import QueryResult
+from repro.ingest.writer import IngestConfig
+from repro.planner.cost import CostModelParams
+from repro.simulate.clock import SimulatedClock
+from repro.simulate.costmodel import DeviceCostModel
+from repro.sqlparser.ast_nodes import Insert, Select
+from repro.sqlparser.parser import parse_statement
+
+
+class ClusteredBlendHouse:
+    """BlendHouse with query execution spread over a read warehouse."""
+
+    def __init__(
+        self,
+        read_workers: int = 2,
+        clock: Optional[SimulatedClock] = None,
+        cost_model: Optional[DeviceCostModel] = None,
+        ingest_config: Optional[IngestConfig] = None,
+        warehouse_config: Optional[WarehouseConfig] = None,
+        settings: Optional[EngineSettings] = None,
+        replicas: int = 1,
+    ) -> None:
+        self.db = BlendHouse(
+            clock=clock, cost_model=cost_model,
+            ingest_config=ingest_config, settings=settings,
+        )
+        if replicas > 1:
+            # Critical-workload mode (paper §II-E): redundant read VWs
+            # behind one query interface with transparent failover.
+            from repro.cluster.replicas import ReplicatedWarehouse
+
+            self.read_vw = ReplicatedWarehouse(
+                "read-vw", self.db.clock, self.db.cost, self.db.store,
+                replicas=replicas, workers_per_replica=read_workers,
+                metrics=self.db.metrics, config=warehouse_config,
+            )
+        else:
+            self.read_vw = VirtualWarehouse(
+                "read-vw", self.db.clock, self.db.cost, self.db.store,
+                metrics=self.db.metrics, config=warehouse_config,
+            )
+            for _ in range(read_workers):
+                self.read_vw.add_worker()
+
+    # ------------------------------------------------------------------
+    # Convenience passthroughs
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> SimulatedClock:
+        """The shared simulated clock."""
+        return self.db.clock
+
+    @property
+    def settings(self) -> EngineSettings:
+        """Session settings (shared with the planning engine)."""
+        return self.db.settings
+
+    @property
+    def metrics(self):
+        """Shared metric registry."""
+        return self.db.metrics
+
+    def insert_rows(self, table: str, rows: List[Dict[str, Any]]):
+        """Ingest through the write path; wires compaction invalidation."""
+        report = self.db.insert_rows(table, rows)
+        self._wire_retire_hook(table)
+        return report
+
+    def insert_columns(self, table: str, scalar_columns, vectors):
+        """Columnar ingest through the write path."""
+        report = self.db.insert_columns(table, scalar_columns, vectors)
+        self._wire_retire_hook(table)
+        return report
+
+    def _wire_retire_hook(self, table: str) -> None:
+        runtime = self.db.table(table)
+        hook_attr = "_cluster_invalidation_wired"
+        if not getattr(runtime, hook_attr, False):
+            runtime.compactor.on_retire(
+                lambda _sid, index_key: self.read_vw.invalidate_index(index_key)
+            )
+            setattr(runtime, hook_attr, True)
+
+    def preload(self, table: str) -> int:
+        """Preload every segment's index into its scheduled worker."""
+        runtime = self.db.table(table)
+        return self.read_vw.preload_indexes(
+            runtime.manager.segment_ids(), runtime.manager.index_key
+        )
+
+    def scale_to(self, workers: int) -> None:
+        """Scale the read warehouse to ``workers`` nodes.
+
+        In replicated mode every replica scales to the same size.
+        """
+        if hasattr(self.read_vw, "scale_to"):
+            self.read_vw.scale_to(workers)
+        else:
+            for replica in self.read_vw.replicas:
+                replica.scale_to(workers)
+
+    # ------------------------------------------------------------------
+    # SQL
+    # ------------------------------------------------------------------
+    def execute(self, sql: str) -> Any:
+        """Execute SQL: SELECTs run on the read warehouse, everything
+        else goes through the write-side engine."""
+        statement = parse_statement(sql)
+        if not isinstance(statement, Select):
+            result = self.db.execute(sql)
+            if isinstance(statement, Insert):
+                self._wire_retire_hook(statement.table)
+            return result
+        return self._execute_select(sql, statement)
+
+    def _execute_select(self, sql: str, statement: Select) -> QueryResult:
+        db = self.db
+        runtime = db.table(statement.table)
+        plan = db._plan_select(sql, statement)
+        scheduled, reserve = db._select_segments(runtime, plan)
+        bitmaps = {
+            segment.segment_id: runtime.manager.bitmap(segment.segment_id)
+            for segment in scheduled + reserve
+        }
+        schema = runtime.entry.schema
+        params = CostModelParams.from_device_model(db.cost, max(schema.vector_dim, 1))
+        start = db.clock.now
+        result = self.read_vw.execute_query(
+            plan, scheduled, bitmaps, runtime.manager.index_key, db.reader, params
+        )
+        wanted = plan.logical.k or 0
+        if (
+            reserve
+            and db.settings.adaptive_widening
+            and plan.logical.is_vector_query
+            and len(result) < max(wanted - plan.logical.offset, 0)
+        ):
+            db.metrics.incr("pruning.adaptive_widenings")
+            result = self.read_vw.execute_query(
+                plan, scheduled + reserve, bitmaps,
+                runtime.manager.index_key, db.reader, params,
+            )
+        result.simulated_seconds = db.clock.elapsed_since(start)
+        return result

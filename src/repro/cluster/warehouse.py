@@ -1,0 +1,273 @@
+"""Virtual warehouses: elastic pools of stateless workers.
+
+A :class:`VirtualWarehouse` executes hybrid queries across its workers:
+segments are assigned by the consistent-hash scheduler, each worker runs
+the physical plan on its share, and the warehouse advances the shared
+clock by the *makespan* — the maximum per-worker charged cost — modelling
+parallel execution on a single simulated timeline.
+
+Warehouses also model:
+
+* **Scaling** (Fig 18): new workers start with cold caches; vector
+  search serving + background loads keep them productive immediately.
+* **Read/write interference** (Fig 12): a background write load on the
+  *same* warehouse inflates query makespans by ``1 / (1 - load)``;
+  dedicated warehouses keep the load at zero.
+* **Failures** (§II-E): failed workers leave the ring; queries retry on
+  the surviving topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.rpc import RpcFabric
+from repro.cluster.scheduler import SegmentScheduler
+from repro.cluster.worker import Worker
+from repro.errors import NoWorkersError, WorkerUnavailableError
+from repro.executor.columnio import ColumnReader
+from repro.executor.pipeline import (
+    ExecContext,
+    PartialResult,
+    QueryResult,
+    execute_segment,
+    merge_and_project,
+)
+from repro.planner.cost import CostModelParams
+from repro.planner.optimizer import PhysicalPlan
+from repro.simulate.clock import SimulatedClock
+from repro.simulate.costmodel import DeviceCostModel
+from repro.simulate.metrics import MetricRegistry
+from repro.storage.deletebitmap import DeleteBitmap
+from repro.storage.objectstore import ObjectStore
+from repro.storage.segment import Segment
+
+IndexKeyLookup = Callable[[str], Optional[str]]
+
+
+@dataclass
+class WarehouseConfig:
+    """Warehouse behaviour knobs."""
+
+    serving_enabled: bool = True
+    preload_enabled: bool = False
+    worker_mem_data_bytes: int = 4 << 30
+    worker_disk_bytes: int = 16 << 30
+    max_query_retries: int = 1
+
+
+class VirtualWarehouse:
+    """An elastic pool of workers sharing one object store."""
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimulatedClock,
+        cost: DeviceCostModel,
+        store: ObjectStore,
+        metrics: Optional[MetricRegistry] = None,
+        config: Optional[WarehouseConfig] = None,
+    ) -> None:
+        self.name = name
+        self.clock = clock
+        self.cost = cost
+        self.store = store
+        self.metrics = metrics or MetricRegistry()
+        self.config = config or WarehouseConfig()
+        self.fabric = RpcFabric(clock, cost, self.metrics)
+        self.scheduler = SegmentScheduler()
+        self.workers: Dict[str, Worker] = {}
+        # Fraction of warehouse compute consumed by co-located background
+        # work (write workload interference, Fig 12).  0 = dedicated VW.
+        self.background_load = 0.0
+        self._next_worker_seq = 0
+
+    # ------------------------------------------------------------------
+    # Topology management
+    # ------------------------------------------------------------------
+    def add_worker(self, worker_id: Optional[str] = None) -> Worker:
+        """Join a new (cold-cache) worker to this warehouse."""
+        if worker_id is None:
+            worker_id = f"{self.name}-w{self._next_worker_seq}"
+            self._next_worker_seq += 1
+        worker = Worker(
+            worker_id, self.clock, self.cost, self.store, self.fabric,
+            metrics=self.metrics,
+            mem_data_bytes=self.config.worker_mem_data_bytes,
+            disk_bytes=self.config.worker_disk_bytes,
+        )
+        self.workers[worker_id] = worker
+        self.scheduler.add_worker(worker_id)
+        self.metrics.incr("warehouse.workers_added")
+        return worker
+
+    def scale_to(self, count: int) -> None:
+        """Add or remove workers until the warehouse has ``count``."""
+        while len(self.workers) < count:
+            self.add_worker()
+        while len(self.workers) > count:
+            victim = sorted(self.workers)[-1]
+            self.remove_worker(victim)
+
+    def remove_worker(self, worker_id: str) -> None:
+        """Graceful scale-down: the worker leaves the ring and fabric."""
+        worker = self.workers.pop(worker_id, None)
+        if worker is None:
+            return
+        worker.alive = False
+        self.scheduler.remove_worker(worker_id)
+        self.fabric.remove(worker_id)
+
+    def fail_worker(self, worker_id: str) -> None:
+        """Crash-failure injection: unreachable, off the ring, cache lost."""
+        worker = self.workers.pop(worker_id, None)
+        if worker is None:
+            return
+        worker.alive = False
+        worker.lose_memory()
+        self.scheduler.remove_worker(worker_id)
+        self.fabric.set_reachable(worker_id, False)
+        self.metrics.incr("warehouse.worker_failures")
+
+    @property
+    def worker_count(self) -> int:
+        """Live workers."""
+        return len(self.workers)
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    def preload_indexes(
+        self, segment_ids: List[str], index_key_of: IndexKeyLookup
+    ) -> int:
+        """Cache-aware preload: pull each segment's index into the worker
+        the scheduler maps it to (paper §II-D).  Returns loads done."""
+        assignment = self.scheduler.assign(segment_ids)
+        loaded = 0
+        for segment_id, worker_id in assignment.items():
+            key = index_key_of(segment_id)
+            if key is None:
+                continue
+            worker = self.workers.get(worker_id)
+            if worker is not None and worker.preload(key):
+                loaded += 1
+        return loaded
+
+    def invalidate_index(self, index_key: Optional[str]) -> None:
+        """Drop a retired index from every worker's caches."""
+        if index_key is None:
+            return
+        for worker in self.workers.values():
+            worker.invalidate(index_key)
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def _interference_factor(self) -> float:
+        load = min(max(self.background_load, 0.0), 0.95)
+        return 1.0 / (1.0 - load)
+
+    def execute_query(
+        self,
+        plan: PhysicalPlan,
+        segments: List[Segment],
+        bitmaps: Dict[str, DeleteBitmap],
+        index_key_of: IndexKeyLookup,
+        reader: ColumnReader,
+        params: CostModelParams,
+    ) -> QueryResult:
+        """Run one planned query across the warehouse.
+
+        Raises
+        ------
+        NoWorkersError
+            If the warehouse has no live workers.
+        """
+        if not self.workers:
+            raise NoWorkersError(f"warehouse {self.name!r} has no workers")
+        attempts = 0
+        while True:
+            try:
+                return self._execute_once(
+                    plan, segments, bitmaps, index_key_of, reader, params
+                )
+            except WorkerUnavailableError:
+                # Query-level retry on the refreshed topology (§II-E).
+                # Memoized remote-cache handshakes may be stale; refresh.
+                for worker in self.workers.values():
+                    worker.forget_remote_holdings()
+                attempts += 1
+                self.metrics.incr("warehouse.query_retries")
+                if attempts > self.config.max_query_retries:
+                    raise
+
+    def _execute_once(
+        self,
+        plan: PhysicalPlan,
+        segments: List[Segment],
+        bitmaps: Dict[str, DeleteBitmap],
+        index_key_of: IndexKeyLookup,
+        reader: ColumnReader,
+        params: CostModelParams,
+    ) -> QueryResult:
+        start = self.clock.now
+        by_id = {segment.segment_id: segment for segment in segments}
+        assignment = self.scheduler.assign(list(by_id))
+        grouped = self.scheduler.group_by_worker(assignment)
+
+        partials: List[PartialResult] = []
+        worker_costs: List[float] = []
+        for worker_id, segment_ids in grouped.items():
+            worker = self.workers.get(worker_id)
+            if worker is None or not worker.alive:
+                raise WorkerUnavailableError(f"worker {worker_id!r} is gone")
+            with self.clock.capturing() as captured:
+                ctx = ExecContext(
+                    clock=self.clock,
+                    cost=self.cost,
+                    params=params,
+                    reader=reader,
+                    resolve_index=self._resolver_for(worker, index_key_of),
+                    metrics=self.metrics,
+                )
+                for segment_id in segment_ids:
+                    segment = by_id[segment_id]
+                    partials.append(
+                        execute_segment(plan, segment, bitmaps.get(segment_id), ctx)
+                    )
+            worker_costs.append(captured.total)
+
+        makespan = max(worker_costs) if worker_costs else 0.0
+        effective = makespan * self._interference_factor()
+        self.metrics.record_latency("warehouse.makespan", effective)
+        self.clock.advance(effective)
+
+        merge_ctx = ExecContext(
+            clock=self.clock,
+            cost=self.cost,
+            params=params,
+            reader=reader,
+            resolve_index=lambda segment: None,
+            metrics=self.metrics,
+        )
+        result = merge_and_project(plan, partials, merge_ctx, len(segments))
+        result.simulated_seconds = self.clock.elapsed_since(start)
+        self.metrics.incr("warehouse.queries")
+        return result
+
+    def _resolver_for(self, worker: Worker, index_key_of: IndexKeyLookup):
+        def resolve(segment: Segment):
+            index_key = index_key_of(segment.segment_id)
+            previous: Optional[Worker] = None
+            prev_id = self.scheduler.previous_owner(segment.segment_id)
+            if prev_id is not None:
+                previous = self.workers.get(prev_id)
+            provider, tier = worker.resolve_provider(
+                segment, index_key, previous,
+                serving_enabled=self.config.serving_enabled,
+            )
+            self.metrics.incr(f"warehouse.tier.{tier}")
+            return provider
+
+        return resolve

@@ -1,0 +1,13 @@
+"""Public engine API.
+
+:class:`repro.core.database.BlendHouse` is the single-process engine: a
+SQL interface over the disaggregated storage substrate with the full
+hybrid-query optimizer stack.  The cluster layer
+(:mod:`repro.cluster`) schedules the same per-segment execution across
+simulated workers.
+"""
+
+from repro.core.database import BlendHouse, EngineSettings
+from repro.core.table import TableRuntime
+
+__all__ = ["BlendHouse", "EngineSettings", "TableRuntime"]

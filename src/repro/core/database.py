@@ -1,0 +1,477 @@
+"""The BlendHouse engine facade.
+
+One :class:`BlendHouse` instance is a single-process deployment of the
+full stack: SQL front-end → catalog → optimizer (RBO + CBO + plan cache
++ short-circuit) → segment pruning (scalar + semantic with adaptive
+widening) → per-segment execution → partial top-k merge → projection.
+
+Typical use::
+
+    db = BlendHouse()
+    db.execute("CREATE TABLE docs (id UInt64, label String, "
+               "embedding Array(Float32), "
+               "INDEX ann embedding TYPE HNSW('DIM=64'))")
+    db.insert_rows("docs", rows)
+    result = db.execute(
+        "SELECT id, dist FROM docs WHERE label = 'news' "
+        "ORDER BY L2Distance(embedding, [...]) AS dist LIMIT 10")
+
+Session settings mirror the paper's ablation switches::
+
+    SET enable_cbo = 0          -- Fig 15: static pre-filter default
+    SET enable_plan_cache = 0   -- Fig 17: pay full planning per query
+    SET read_opt = 0            -- Fig 17: full-block column reads
+    SET semantic_prune_keep = 4 -- Fig 16: segments kept by centroid rank
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import TableSchema
+from repro.core.table import TableRuntime
+from repro.errors import BlendHouseError, SQLError
+from repro.executor.columnio import ColumnReader, ReadOptConfig
+from repro.executor.pipeline import ExecContext, QueryResult, execute_plan_on_segments
+from repro.ingest.update import apply_delete, apply_update
+from repro.ingest.writer import IngestConfig, IngestReport
+from repro.partition.pruning import prune_segments_scalar, select_semantic_candidates
+from repro.planner.cost import CostModelParams
+from repro.planner.logical import bind_select
+from repro.planner.optimizer import (
+    ExecutionStrategy,
+    Optimizer,
+    OptimizerConfig,
+    PhysicalPlan,
+)
+from repro.planner.plancache import PlanCache
+from repro.planner.rules import apply_rules
+from repro.simulate.clock import SimulatedClock
+from repro.simulate.costmodel import DeviceCostModel
+from repro.simulate.metrics import MetricRegistry
+from repro.sqlparser.ast_nodes import (
+    CreateTable,
+    Delete,
+    DropTable,
+    Insert,
+    Select,
+    SetStatement,
+    Update,
+)
+from repro.sqlparser.parser import parse_statement
+from repro.storage.objectstore import ObjectStore
+from repro.storage.segment import Segment
+from repro.vindex.registry import IndexSpec, parse_index_options
+
+
+@dataclass
+class EngineSettings:
+    """Session settings, adjustable via SET statements."""
+
+    enable_cbo: bool = True
+    enable_plan_cache: bool = True
+    enable_short_circuit: bool = True
+    enable_read_opt: bool = True
+    enable_semantic_pruning: bool = True
+    semantic_prune_keep: int = 4          # segments kept per round
+    adaptive_widening: bool = True
+    prefilter_row_threshold: int = 1000   # paper's "~10k rows" rule, scaled
+    ef_search: Optional[int] = None
+    nprobe: Optional[int] = None
+    forced_strategy: Optional[str] = None  # brute_force / pre_filter / post_filter
+    auto_compaction: bool = False
+
+    _BOOL_KEYS = (
+        "enable_cbo", "enable_plan_cache", "enable_short_circuit",
+        "enable_read_opt", "enable_semantic_pruning", "adaptive_widening",
+        "auto_compaction",
+    )
+
+    def apply(self, name: str, value: Any) -> None:
+        """Apply one SET name = value.
+
+        Raises
+        ------
+        SQLError
+            For unknown setting names.
+        """
+        key = name.lower()
+        if key == "read_opt":
+            key = "enable_read_opt"
+        if key in self._BOOL_KEYS:
+            setattr(self, key, bool(int(value)) if not isinstance(value, bool) else value)
+            return
+        if key in ("ef_search", "nprobe", "semantic_prune_keep",
+                   "prefilter_row_threshold"):
+            setattr(self, key, int(value))
+            return
+        if key == "forced_strategy":
+            text = str(value).lower()
+            if text in ("", "none", "auto"):
+                self.forced_strategy = None
+            else:
+                self.forced_strategy = text
+            return
+        raise SQLError(f"unknown setting {name!r}")
+
+
+class BlendHouse:
+    """Single-process BlendHouse engine over simulated cloud storage."""
+
+    def __init__(
+        self,
+        clock: Optional[SimulatedClock] = None,
+        cost_model: Optional[DeviceCostModel] = None,
+        ingest_config: Optional[IngestConfig] = None,
+        read_config: Optional[ReadOptConfig] = None,
+        settings: Optional[EngineSettings] = None,
+    ) -> None:
+        self.clock = clock or SimulatedClock()
+        self.cost = cost_model or DeviceCostModel()
+        self.metrics = MetricRegistry()
+        self.store = ObjectStore(self.clock, self.cost, self.metrics)
+        self.catalog = Catalog()
+        self.settings = settings or EngineSettings()
+        self.plan_cache = PlanCache()
+        self._ingest_config = ingest_config or IngestConfig()
+        self._read_config = read_config or ReadOptConfig()
+        self.reader = ColumnReader(self.clock, self.cost, self.metrics, self._read_config)
+        self._tables: Dict[str, TableRuntime] = {}
+
+    # ------------------------------------------------------------------
+    # Table access
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> TableRuntime:
+        """Runtime state for table ``name``."""
+        self.catalog.get(name)  # raises if unknown
+        return self._tables[name]
+
+    # ------------------------------------------------------------------
+    # SQL entry point
+    # ------------------------------------------------------------------
+    def execute(self, sql: str) -> Any:
+        """Execute one SQL statement.
+
+        Returns a :class:`QueryResult` for SELECTs, an
+        :class:`IngestReport` for INSERTs, and small ack objects for
+        other statements.
+        """
+        statement = parse_statement(sql)
+        if isinstance(statement, CreateTable):
+            return self._execute_create(statement)
+        if isinstance(statement, DropTable):
+            return self._execute_drop(statement)
+        if isinstance(statement, Insert):
+            return self._execute_insert(statement)
+        if isinstance(statement, Select):
+            return self._execute_select(sql, statement)
+        if isinstance(statement, Update):
+            runtime = self.table(statement.table)
+            result = apply_update(
+                runtime.manager, runtime.writer, statement.assignments, statement.where
+            )
+            self._maybe_compact(runtime)
+            return result
+        if isinstance(statement, Delete):
+            runtime = self.table(statement.table)
+            result = apply_delete(runtime.manager, statement.where)
+            self._maybe_compact(runtime)
+            return result
+        if isinstance(statement, SetStatement):
+            self.settings.apply(statement.name, statement.value)
+            return {"setting": statement.name, "value": statement.value}
+        raise BlendHouseError(f"unhandled statement type {type(statement).__name__}")
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def _execute_create(self, statement: CreateTable) -> TableSchema:
+        index_spec: Optional[IndexSpec] = None
+        if statement.indexes:
+            if len(statement.indexes) > 1:
+                raise SQLError("only one vector index per table is supported")
+            index_def = statement.indexes[0]
+            options = parse_index_options(",".join(index_def.options))
+            dim = int(options.pop("dim", 0))
+            metric = str(options.pop("metric", "l2")).lower()
+            index_spec = IndexSpec(
+                index_type=index_def.index_type,
+                dim=dim or 1,  # inferred from the first insert when 0
+                metric=metric,
+                params=options,
+                name=index_def.name,
+                column=index_def.column,
+            )
+            if not dim:
+                index_spec.dim = 1  # placeholder until inference
+        schema = TableSchema.from_ddl(
+            statement.name,
+            statement.columns,
+            index_spec=index_spec,
+            order_by=statement.order_by,
+            partition_by=statement.partition_by,
+            cluster_by=statement.cluster_by,
+            cluster_buckets=statement.cluster_buckets,
+        )
+        if index_spec is not None:
+            schema.vector_dim = index_spec.dim if index_spec.dim > 1 else 0
+        entry = self.catalog.create_table(schema, if_not_exists=statement.if_not_exists)
+        if schema.name not in self._tables:
+            self._tables[schema.name] = TableRuntime(
+                entry, self.store, self.clock, self.cost, self.metrics,
+                ingest_config=self._ingest_config,
+            )
+        return schema
+
+    def _execute_drop(self, statement: DropTable) -> bool:
+        runtime = self._tables.get(statement.name)
+        dropped = self.catalog.drop_table(statement.name, if_exists=statement.if_exists)
+        self._tables.pop(statement.name, None)
+        if dropped and runtime is not None:
+            # Garbage-collect the table's persisted state so the shared
+            # store does not leak dropped tables' segments and indexes.
+            for segment in runtime.manager.segments():
+                for column in list(segment.scalar_column_names) + [
+                    segment.meta.vector_column
+                ]:
+                    self.store.delete(Segment.column_key(segment.segment_id, column))
+                self.store.delete(Segment.meta_key(segment.segment_id))
+                index_key = runtime.manager.index_key(segment.segment_id)
+                if index_key is not None:
+                    self.store.delete(index_key)
+        return dropped
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+    def _execute_insert(self, statement: Insert) -> IngestReport:
+        runtime = self.table(statement.table)
+        schema = runtime.entry.schema
+        if statement.infile is not None:
+            from repro.ingest.csvload import read_csv_rows
+
+            rows = read_csv_rows(
+                statement.infile, schema, statement.columns or None
+            )
+            report = runtime.writer.ingest_rows(rows)
+            self.plan_cache.invalidate()
+            self._maybe_compact(runtime)
+            return report
+        columns = statement.columns or schema.column_order
+        if len(columns) != len(schema.column_order) or set(columns) != set(schema.column_order):
+            raise SQLError("INSERT must provide every column exactly once")
+        rows = [dict(zip(columns, row)) for row in statement.rows]
+        report = runtime.writer.ingest_rows(rows)
+        self.plan_cache.invalidate()
+        self._maybe_compact(runtime)
+        return report
+
+    def insert_rows(self, table: str, rows: List[Dict[str, Any]]) -> IngestReport:
+        """Programmatic bulk insert of row dicts."""
+        runtime = self.table(table)
+        report = runtime.writer.ingest_rows(rows)
+        self.plan_cache.invalidate()
+        self._maybe_compact(runtime)
+        return report
+
+    def insert_columns(
+        self, table: str, scalar_columns: Dict[str, Any], vectors: np.ndarray
+    ) -> IngestReport:
+        """Programmatic columnar bulk load (the CSV INFILE fast path)."""
+        runtime = self.table(table)
+        report = runtime.writer.ingest_columns(scalar_columns, vectors)
+        self.plan_cache.invalidate()
+        self._maybe_compact(runtime)
+        return report
+
+    def compact(self, table: str) -> List[Any]:
+        """Run compaction to completion for ``table``."""
+        runtime = self.table(table)
+        results = runtime.compactor.compact_all()
+        if results:
+            self.plan_cache.invalidate()
+        return results
+
+    def _maybe_compact(self, runtime: TableRuntime) -> None:
+        if self.settings.auto_compaction:
+            runtime.compactor.run_once()
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+    def _optimizer(self, schema: TableSchema) -> Optimizer:
+        params = CostModelParams.from_device_model(
+            self.cost, max(schema.vector_dim, 1)
+        )
+        forced = None
+        if self.settings.forced_strategy:
+            forced = ExecutionStrategy(self.settings.forced_strategy)
+        config = OptimizerConfig(
+            prefilter_row_threshold=self.settings.prefilter_row_threshold,
+            enable_cbo=self.settings.enable_cbo,
+            enable_short_circuit=self.settings.enable_short_circuit,
+            forced_strategy=forced,
+        )
+        return Optimizer(params, config)
+
+    def _search_param_overrides(self) -> Dict[str, Any]:
+        overrides: Dict[str, Any] = {}
+        if self.settings.ef_search is not None:
+            overrides["ef_search"] = self.settings.ef_search
+        if self.settings.nprobe is not None:
+            overrides["nprobe"] = self.settings.nprobe
+        return overrides
+
+    def _plan_select(self, sql: str, statement: Select) -> PhysicalPlan:
+        runtime = self.table(statement.table)
+        schema = runtime.entry.schema
+        cached = None
+        if self.settings.enable_plan_cache:
+            cached = self.plan_cache.lookup(sql)
+        logical = apply_rules(bind_select(statement, schema))
+        optimizer = self._optimizer(schema)
+        index_spec = schema.index_spec
+        if (
+            logical.distance is not None
+            and index_spec is not None
+            and logical.distance.metric != index_spec.metric
+        ):
+            # The index orders candidates under a different metric than
+            # the query asks for; its results would be wrong.  Plan
+            # against no index: the exact brute-force kernels support
+            # every metric.
+            index_spec = None
+            self.metrics.incr("planner.metric_mismatch_fallbacks")
+        plan = optimizer.choose(
+            logical,
+            runtime.entry.statistics,
+            index_spec,
+            search_params=self._search_param_overrides(),
+        )
+        if index_spec is None and schema.index_spec is not None:
+            plan.use_index = False
+        if cached is not None:
+            # Plan-cache hit: the cached template is *adapted* to the new
+            # literals (the paper's extended plan matching), so only the
+            # cheap parameter-binding overhead is charged.
+            self.clock.advance(self.cost.plan_cached_overhead_s)
+            self.metrics.incr("planner.cache_hits")
+            return plan
+        if plan.short_circuited:
+            self.clock.advance(self.cost.plan_cached_overhead_s)
+        else:
+            self.clock.advance(self.cost.plan_overhead_s)
+        if self.settings.enable_plan_cache:
+            self.plan_cache.store(sql, plan)
+        self.metrics.incr("planner.optimizations")
+        return plan
+
+    def _exec_context(self, runtime: TableRuntime) -> ExecContext:
+        schema = runtime.entry.schema
+        params = CostModelParams.from_device_model(self.cost, max(schema.vector_dim, 1))
+        reader = self.reader
+        if not self.settings.enable_read_opt:
+            reader = ColumnReader(
+                self.clock, self.cost, self.metrics,
+                ReadOptConfig(reduced_granularity=False, use_block_cache=False),
+            )
+        return ExecContext(
+            clock=self.clock,
+            cost=self.cost,
+            params=params,
+            reader=reader,
+            resolve_index=runtime.resolve_index,
+            metrics=self.metrics,
+        )
+
+    def _select_segments(
+        self, runtime: TableRuntime, plan: PhysicalPlan
+    ) -> List[List[Segment]]:
+        """Scheduling-phase pruning: returns [scheduled, reserve] waves."""
+        manager = runtime.manager
+        metas = manager.metas()
+        metas = prune_segments_scalar(metas, plan.logical.scalar_predicate)
+        self.metrics.incr("pruning.scalar_kept", len(metas))
+        schema = runtime.entry.schema
+        use_semantic = (
+            self.settings.enable_semantic_pruning
+            and schema.cluster_buckets > 0
+            and plan.logical.is_vector_query
+        )
+        if not use_semantic:
+            return [[manager.segment(meta.segment_id) for meta in metas], []]
+        keep = max(1, self.settings.semantic_prune_keep)
+        scheduled, reserve = select_semantic_candidates(
+            metas, plan.logical.distance.query_vector, keep
+        )
+        self.metrics.incr("pruning.semantic_kept", len(scheduled))
+        return [
+            [manager.segment(meta.segment_id) for meta in scheduled],
+            [manager.segment(meta.segment_id) for meta in reserve],
+        ]
+
+    def _execute_select(self, sql: str, statement: Select) -> QueryResult:
+        runtime = self.table(statement.table)
+        plan = self._plan_select(sql, statement)
+        ctx = self._exec_context(runtime)
+        scheduled, reserve = self._select_segments(runtime, plan)
+        bitmaps = {
+            segment.segment_id: runtime.manager.bitmap(segment.segment_id)
+            for segment in scheduled + reserve
+        }
+        start = self.clock.now
+        result = execute_plan_on_segments(plan, scheduled, bitmaps, ctx)
+        wanted = plan.logical.k or 0
+        if (
+            reserve
+            and self.settings.adaptive_widening
+            and plan.logical.is_vector_query
+            and len(result) < max(wanted - plan.logical.offset, 0)
+        ):
+            # Runtime-adaptive widening: the centroid ranking under-
+            # estimated; schedule everything and redo the merge.
+            self.metrics.incr("pruning.adaptive_widenings")
+            result = execute_plan_on_segments(plan, scheduled + reserve, bitmaps, ctx)
+        result.simulated_seconds = self.clock.elapsed_since(start)
+        self.metrics.incr("queries")
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self, table: str) -> Dict[str, Any]:
+        """Human-readable summary of a table's state."""
+        runtime = self.table(table)
+        schema = runtime.entry.schema
+        return {
+            "table": table,
+            "columns": {name: ctype.value for name, ctype in schema.columns.items()},
+            "vector_column": schema.vector_column,
+            "vector_dim": schema.vector_dim,
+            "index": schema.index_spec.index_type if schema.index_spec else None,
+            "segments": len(runtime.manager),
+            "rows_alive": runtime.manager.alive_rows(),
+            "rows_deleted": runtime.manager.deleted_rows(),
+            "cluster_buckets": schema.cluster_buckets,
+        }
+
+    @staticmethod
+    def feature_matrix() -> Dict[str, Any]:
+        """The Table I capability row for BlendHouse (introspection)."""
+        from repro.vindex.registry import registered_types
+
+        return {
+            "general_purpose": True,
+            "disaggregated_architecture": True,
+            "full_sql_support": True,
+            "filtered_search": True,
+            "iterative_search": True,
+            "similarity_based_partition": True,
+            "auto_index": True,
+            "index_algorithms": registered_types(),
+        }
+

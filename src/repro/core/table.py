@@ -1,0 +1,99 @@
+"""Per-table runtime: segments, write path, compaction, index access.
+
+Bundles everything the engine keeps per table beyond catalog metadata.
+The index resolution here is the *local* (single-process) path: indexes
+built by this process are served from memory, anything else is loaded
+from the object store and memoized.  The cluster layer replaces this
+with worker-local hierarchical caches plus vector search serving.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.catalog.catalog import TableEntry
+from repro.errors import ObjectNotFoundError
+from repro.ingest.writer import IngestConfig, SegmentWriter
+from repro.simulate.clock import SimulatedClock
+from repro.simulate.costmodel import DeviceCostModel
+from repro.simulate.metrics import MetricRegistry
+from repro.storage.compaction import CompactionConfig, Compactor
+from repro.storage.lsm import SegmentManager
+from repro.storage.objectstore import ObjectStore
+from repro.storage.segment import Segment
+from repro.vindex.api import VectorIndex
+from repro.vindex.registry import deserialize_index
+
+
+class TableRuntime:
+    """Live state for one table."""
+
+    def __init__(
+        self,
+        entry: TableEntry,
+        store: ObjectStore,
+        clock: SimulatedClock,
+        cost: DeviceCostModel,
+        metrics: MetricRegistry,
+        ingest_config: Optional[IngestConfig] = None,
+        compaction_config: Optional[CompactionConfig] = None,
+    ) -> None:
+        self.entry = entry
+        self.store = store
+        self.clock = clock
+        self.cost = cost
+        self.metrics = metrics
+        self.manager = SegmentManager()
+        self.writer = SegmentWriter(
+            entry, self.manager, store, clock,
+            cost_model=cost, metrics=metrics, config=ingest_config,
+        )
+        self.compactor = Compactor(
+            entry=entry, manager=self.manager, store=store, clock=clock,
+            cost=cost, metrics=metrics,
+            config=compaction_config or CompactionConfig(),
+        )
+        self._loaded_indexes: Dict[str, VectorIndex] = {}
+        self.compactor.on_retire(self._forget_index)
+
+    # ------------------------------------------------------------------
+    # Index resolution (local mode)
+    # ------------------------------------------------------------------
+    def _forget_index(self, segment_id: str, index_key: Optional[str]) -> None:
+        if index_key is not None:
+            self._loaded_indexes.pop(index_key, None)
+            self.writer.built_indexes.pop(index_key, None)
+
+    def resolve_index(self, segment: Segment) -> Optional[VectorIndex]:
+        """The vector index for ``segment``, or None (→ brute force).
+
+        Looks in the writer's freshly built set first, then the memoized
+        loads, finally the object store (charging the cold-read cost).
+        """
+        index_key = self.manager.index_key(segment.segment_id)
+        if index_key is None:
+            return None
+        built = self.writer.built_indexes.get(index_key)
+        if built is not None:
+            return built
+        cached = self._loaded_indexes.get(index_key)
+        if cached is not None:
+            return cached
+        try:
+            payload = self.store.get(index_key)
+        except ObjectNotFoundError:
+            return None
+        index = deserialize_index(payload)
+        self._attach_segment_hooks(index, segment)
+        self._loaded_indexes[index_key] = index
+        self.metrics.incr("table.index_cold_loads")
+        return index
+
+    def _attach_segment_hooks(self, index: VectorIndex, segment: Segment) -> None:
+        """Re-wire non-persisted hooks after deserialization."""
+        refiner_setter = getattr(index, "set_refiner", None)
+        if callable(refiner_setter):
+            refiner_setter(lambda ids: segment.vectors_at(ids))
+        io_setter = getattr(index, "set_io_charger", None)
+        if callable(io_setter):
+            io_setter(lambda nbytes: self.clock.advance(self.cost.disk_read(nbytes)))

@@ -1,0 +1,28 @@
+"""Physical execution.
+
+* :mod:`repro.executor.annscan` — the three ANN physical scan operators
+  (SearchWithFilter, SearchWithRange, SearchIterator) plus the brute
+  force fallback, all charging simulated compute to the clock.
+* :mod:`repro.executor.columnio` — scalar column fetch with the paper's
+  read-amplification treatment: reduced read granularity and an adaptive
+  split-buffer cache (§IV-C).
+* :mod:`repro.executor.pipeline` — per-segment plan execution and the
+  global partial top-k merge.
+"""
+
+from repro.executor.columnio import ColumnReader, ReadOptConfig
+from repro.executor.pipeline import (
+    ExecContext,
+    PartialResult,
+    QueryResult,
+    execute_plan_on_segments,
+)
+
+__all__ = [
+    "ColumnReader",
+    "ExecContext",
+    "PartialResult",
+    "QueryResult",
+    "ReadOptConfig",
+    "execute_plan_on_segments",
+]

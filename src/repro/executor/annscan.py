@@ -1,0 +1,255 @@
+"""ANN physical scan operators (paper §II-C "Plan execution").
+
+Each operator runs against one segment through a *search provider* — an
+object with the execution-layer index interface.  A provider is usually
+the segment's vector index (local cache hit), but may be a remote
+serving stub (:mod:`repro.cluster.serving`) or absent entirely, in which
+case the operator falls back to brute force over the raw vectors — the
+expensive path Fig 11 measures.
+
+Simulated compute is charged per visited candidate: full-precision
+indexes pay ``c_d``-style distance costs, PQ indexes pay ADC costs, and
+bitmap scans add the per-record bitmap test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Protocol
+
+import numpy as np
+
+from repro.simulate.clock import SimulatedClock
+from repro.simulate.costmodel import DeviceCostModel
+from repro.simulate.metrics import MetricRegistry
+from repro.storage.segment import Segment
+from repro.vindex.api import SearchResult, pairwise_distance, top_k_from_distances
+from repro.vindex.iterator import SearchIterator
+
+
+class SearchProvider(Protocol):
+    """The execution-layer slice of the virtual index interface."""
+
+    def search_with_filter(
+        self, query: np.ndarray, k: int, bitset: Optional[np.ndarray] = None,
+        **params: Any,
+    ) -> SearchResult: ...
+
+    def search_with_range(
+        self, query: np.ndarray, radius: float, bitset: Optional[np.ndarray] = None,
+        **params: Any,
+    ) -> SearchResult: ...
+
+    def search_iterator(
+        self, query: np.ndarray, bitset: Optional[np.ndarray] = None,
+        batch_size: int = 64, **params: Any,
+    ) -> SearchIterator: ...
+
+
+@dataclass
+class ScanCharger:
+    """Charges simulated compute for ANN scans on one segment."""
+
+    clock: SimulatedClock
+    cost: DeviceCostModel
+    metrics: MetricRegistry
+    dim: int
+    index_type: Optional[str]
+
+    def _uses_codes(self) -> bool:
+        return self.index_type in ("IVFPQ", "IVFPQFS")
+
+    def charge_visits(self, visited: int, with_bitmap: bool = False) -> None:
+        """Charge ``visited`` candidate inspections."""
+        if visited <= 0:
+            return
+        if self._uses_codes():
+            # ADC over PQ codes: m table lookups per code (m=8 default).
+            self.clock.advance(self.cost.adc_cost(visited, 8))
+        else:
+            self.clock.advance(self.cost.distance_cost(visited, self.dim))
+        if with_bitmap:
+            self.clock.advance(self.cost.bitmap_cost(visited))
+        self.metrics.incr("annscan.visited", visited)
+
+    def charge_refine(self, k: int, sigma: float) -> None:
+        """Charge the σ·k exact re-ranking distances."""
+        amplified = int(max(1.0, sigma) * k)
+        self.clock.advance(self.cost.distance_cost(amplified, self.dim))
+
+    def charge_brute_force(self, rows: int) -> None:
+        """Charge a full exact scan of ``rows`` vectors."""
+        self.clock.advance(self.cost.distance_cost(rows, self.dim))
+        self.metrics.incr("annscan.brute_force_rows", rows)
+
+
+def brute_force_scan(
+    segment: Segment,
+    query: np.ndarray,
+    k: int,
+    metric: str,
+    allowed: Optional[np.ndarray],
+    charger: ScanCharger,
+) -> SearchResult:
+    """Exact distances over the segment's raw vectors (Plan A kernel and
+    the index-cache-miss fallback)."""
+    if allowed is not None:
+        offsets = np.flatnonzero(allowed)
+    else:
+        offsets = np.arange(segment.row_count, dtype=np.int64)
+    if offsets.size == 0:
+        return SearchResult.empty()
+    vectors = segment.vectors_at(offsets)
+    distances = pairwise_distance(query, vectors, metric)
+    charger.charge_brute_force(int(offsets.size))
+    return top_k_from_distances(offsets, distances, k, visited=int(offsets.size))
+
+
+def search_with_filter_op(
+    provider: Optional[SearchProvider],
+    segment: Segment,
+    query: np.ndarray,
+    k: int,
+    metric: str,
+    bitset: Optional[np.ndarray],
+    charger: ScanCharger,
+    sigma: float = 1.0,
+    **search_params: Any,
+) -> SearchResult:
+    """SearchWithFilter: top-k through the index, bitset-restricted.
+
+    Falls back to brute force when no provider is available.
+    """
+    if provider is None:
+        return brute_force_scan(segment, query, k, metric, bitset, charger)
+    result = provider.search_with_filter(query, k, bitset=bitset, **search_params)
+    charger.charge_visits(result.visited, with_bitmap=bitset is not None)
+    if charger._uses_codes():
+        charger.charge_refine(k, sigma)
+    return result
+
+
+def search_with_range_op(
+    provider: Optional[SearchProvider],
+    segment: Segment,
+    query: np.ndarray,
+    radius: float,
+    metric: str,
+    bitset: Optional[np.ndarray],
+    charger: ScanCharger,
+    **search_params: Any,
+) -> SearchResult:
+    """SearchWithRange: all rows within ``radius``."""
+    if provider is None:
+        # Brute force range: exact distances, then threshold.
+        if bitset is not None:
+            offsets = np.flatnonzero(bitset)
+        else:
+            offsets = np.arange(segment.row_count, dtype=np.int64)
+        if offsets.size == 0:
+            return SearchResult.empty()
+        vectors = segment.vectors_at(offsets)
+        distances = pairwise_distance(query, vectors, metric)
+        charger.charge_brute_force(int(offsets.size))
+        keep = np.flatnonzero(distances <= radius)
+        order = keep[np.argsort(distances[keep], kind="stable")]
+        return SearchResult(offsets[order], distances[order], visited=int(offsets.size))
+    result = provider.search_with_range(query, radius, bitset=bitset, **search_params)
+    charger.charge_visits(result.visited, with_bitmap=bitset is not None)
+    return result
+
+
+def search_iterator_op(
+    provider: Optional[SearchProvider],
+    segment: Segment,
+    query: np.ndarray,
+    metric: str,
+    bitset: Optional[np.ndarray],
+    charger: ScanCharger,
+    batch_size: int,
+    **search_params: Any,
+) -> "SegmentIterator":
+    """SearchIterator: incremental distance-ordered stream for
+    post-filter execution."""
+    if provider is None:
+        return _BruteForceIterator(segment, query, metric, bitset, charger, batch_size)
+    inner = provider.search_iterator(
+        query, bitset=bitset, batch_size=batch_size, **search_params
+    )
+    return _ChargingIterator(inner, charger)
+
+
+class SegmentIterator:
+    """Uniform iterator facade over native / generic / brute iterators."""
+
+    @property
+    def exhausted(self) -> bool:  # pragma: no cover - interface stub
+        raise NotImplementedError
+
+    def next_batch(self) -> SearchResult:  # pragma: no cover - interface stub
+        raise NotImplementedError
+
+
+class _ChargingIterator(SegmentIterator):
+    """Wraps an index iterator, charging per-batch visit deltas."""
+
+    def __init__(self, inner: SearchIterator, charger: ScanCharger) -> None:
+        self._inner = inner
+        self._charger = charger
+        self._charged_visits = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._inner.exhausted
+
+    def next_batch(self) -> SearchResult:
+        batch = self._inner.next_batch()
+        # Iterator results carry cumulative visit counts; charge deltas.
+        delta = max(0, batch.visited - self._charged_visits)
+        self._charger.charge_visits(delta)
+        self._charged_visits = batch.visited
+        return batch
+
+
+class _BruteForceIterator(SegmentIterator):
+    """Exact-scan iterator: one full distance pass, then batched emission."""
+
+    def __init__(
+        self,
+        segment: Segment,
+        query: np.ndarray,
+        metric: str,
+        bitset: Optional[np.ndarray],
+        charger: ScanCharger,
+        batch_size: int,
+    ) -> None:
+        self._batch_size = max(1, batch_size)
+        if bitset is not None:
+            offsets = np.flatnonzero(bitset)
+        else:
+            offsets = np.arange(segment.row_count, dtype=np.int64)
+        if offsets.size:
+            vectors = segment.vectors_at(offsets)
+            distances = pairwise_distance(query, vectors, metric)
+            charger.charge_brute_force(int(offsets.size))
+            order = np.argsort(distances, kind="stable")
+            self._ids = offsets[order]
+            self._distances = distances[order]
+        else:
+            self._ids = np.empty(0, dtype=np.int64)
+            self._distances = np.empty(0, dtype=np.float64)
+        self._cursor = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= self._ids.shape[0]
+
+    def next_batch(self) -> SearchResult:
+        end = self._cursor + self._batch_size
+        batch = SearchResult(
+            self._ids[self._cursor : end],
+            self._distances[self._cursor : end],
+            visited=int(self._ids.shape[0]),
+        )
+        self._cursor = end
+        return batch

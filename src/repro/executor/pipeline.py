@@ -1,0 +1,428 @@
+"""Per-segment plan execution and the global partial top-k merge.
+
+Mirrors the paper's Fig 2 execution flow: every scheduled segment runs
+the chosen physical plan locally, producing a *partial* top-k; a merge
+operator combines partials into the global top-k; finally the needed
+scalar columns are fetched for just the surviving rows (vector column
+pruning + reduced read granularity keep this cheap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.executor.annscan import (
+    ScanCharger,
+    SearchProvider,
+    brute_force_scan,
+    search_iterator_op,
+    search_with_filter_op,
+    search_with_range_op,
+)
+from repro.executor.columnio import ColumnReader
+from repro.planner.cost import CostModelParams
+from repro.planner.optimizer import ExecutionStrategy, PhysicalPlan
+from repro.simulate.clock import SimulatedClock
+from repro.simulate.costmodel import DeviceCostModel
+from repro.simulate.metrics import MetricRegistry
+from repro.sqlparser.ast_nodes import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    UnaryOp,
+)
+from repro.sqlparser.expressions import evaluate_predicate
+from repro.storage.deletebitmap import DeleteBitmap
+from repro.storage.segment import Segment
+
+# Post-filter safety cap: iterations per segment before giving up.
+MAX_POST_FILTER_ITERATIONS = 64
+
+IndexResolver = Callable[[Segment], Optional[SearchProvider]]
+
+
+@dataclass
+class ExecContext:
+    """Everything per-segment execution needs."""
+
+    clock: SimulatedClock
+    cost: DeviceCostModel
+    params: CostModelParams
+    reader: ColumnReader
+    resolve_index: IndexResolver
+    metrics: MetricRegistry = field(default_factory=MetricRegistry)
+
+
+@dataclass
+class PartialResult:
+    """One segment's contribution: row offsets plus optional distances."""
+
+    segment: Segment
+    offsets: np.ndarray
+    distances: Optional[np.ndarray] = None
+
+
+@dataclass
+class QueryResult:
+    """Final result set."""
+
+    columns: List[str]
+    rows: List[Tuple[Any, ...]]
+    strategy: ExecutionStrategy
+    simulated_seconds: float = 0.0
+    segments_scanned: int = 0
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one output column."""
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise ExecutionError(f"result has no column {name!r}") from None
+        return [row[idx] for row in self.rows]
+
+
+def referenced_columns(expr: Optional[Expression]) -> Set[str]:
+    """Column names a predicate touches (for structured-scan costing)."""
+    found: Set[str] = set()
+    if expr is None:
+        return found
+
+    def walk(node: Expression) -> None:
+        if isinstance(node, ColumnRef):
+            found.add(node.name)
+        elif isinstance(node, BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, Between):
+            walk(node.operand)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, InList):
+            walk(node.operand)
+            for item in node.items:
+                walk(item)
+        elif isinstance(node, FunctionCall):
+            for arg in node.args:
+                walk(arg)
+
+    walk(expr)
+    return found
+
+
+def _segment_columns(segment: Segment, names: Set[str]) -> Dict[str, Any]:
+    columns: Dict[str, Any] = {}
+    for name in names:
+        if name == segment.meta.vector_column:
+            columns[name] = segment.vectors()
+        else:
+            columns[name] = segment.scalar_column(name)
+    return columns
+
+
+def _structured_scan_mask(
+    plan: PhysicalPlan,
+    segment: Segment,
+    bitmap: Optional[DeleteBitmap],
+    ctx: ExecContext,
+) -> np.ndarray:
+    """Alive ∧ predicate mask, charging the structured scan cost T0."""
+    alive = bitmap.alive_mask() if bitmap is not None else np.ones(segment.row_count, bool)
+    predicate = plan.logical.scalar_predicate
+    if predicate is None:
+        return alive
+    needed = referenced_columns(predicate)
+    columns = _segment_columns(segment, needed)
+    ctx.clock.advance(segment.row_count * ctx.params.t0_per_row * max(1, len(needed)))
+    mask = evaluate_predicate(predicate, columns, segment.row_count)
+    return mask & alive
+
+
+def _charger(ctx: ExecContext, segment: Segment) -> ScanCharger:
+    return ScanCharger(
+        clock=ctx.clock,
+        cost=ctx.cost,
+        metrics=ctx.metrics,
+        dim=segment.dim,
+        index_type=segment.meta.index_type,
+    )
+
+
+def _execute_segment(
+    plan: PhysicalPlan,
+    segment: Segment,
+    bitmap: Optional[DeleteBitmap],
+    ctx: ExecContext,
+) -> PartialResult:
+    logical = plan.logical
+    strategy = plan.strategy
+    charger = _charger(ctx, segment)
+
+    if strategy is ExecutionStrategy.SCALAR_ONLY:
+        mask = _structured_scan_mask(plan, segment, bitmap, ctx)
+        return PartialResult(segment, np.flatnonzero(mask))
+
+    assert logical.distance is not None
+    query = logical.distance.query_vector
+    metric = logical.distance.metric
+    k = logical.k or 10
+    provider = ctx.resolve_index(segment) if plan.use_index else None
+
+    if strategy is ExecutionStrategy.BRUTE_FORCE:
+        mask = _structured_scan_mask(plan, segment, bitmap, ctx)
+        result = brute_force_scan(segment, query, k, metric, mask, charger)
+        return PartialResult(segment, result.ids, result.distances)
+
+    if strategy is ExecutionStrategy.PRE_FILTER:
+        mask = _structured_scan_mask(plan, segment, bitmap, ctx)
+        if not mask.any():
+            return PartialResult(segment, np.empty(0, dtype=np.int64),
+                                 np.empty(0, dtype=np.float64))
+        result = search_with_filter_op(
+            provider, segment, query, k, metric, mask, charger,
+            sigma=plan.sigma, **plan.search_params,
+        )
+        return PartialResult(segment, result.ids, result.distances)
+
+    if strategy is ExecutionStrategy.ANN_ONLY:
+        alive: Optional[np.ndarray] = None
+        if bitmap is not None and bitmap.deleted_count > 0:
+            alive = bitmap.alive_mask()
+        result = search_with_filter_op(
+            provider, segment, query, k, metric, alive, charger,
+            sigma=plan.sigma, **plan.search_params,
+        )
+        return PartialResult(segment, result.ids, result.distances)
+
+    if strategy is ExecutionStrategy.RANGE:
+        alive = None
+        if bitmap is not None and bitmap.deleted_count > 0:
+            alive = bitmap.alive_mask()
+        radius = logical.distance_range
+        if radius is None:
+            raise ExecutionError("RANGE strategy requires a distance range")
+        result = search_with_range_op(
+            provider, segment, query, radius, metric, alive, charger,
+            **plan.search_params,
+        )
+        offsets, distances = result.ids, result.distances
+        if logical.scalar_predicate is not None and offsets.size:
+            keep = _postfilter_offsets(plan, segment, offsets, ctx)
+            offsets, distances = offsets[keep], distances[keep]
+        return PartialResult(segment, offsets, distances)
+
+    if strategy is ExecutionStrategy.POST_FILTER:
+        return _execute_post_filter(plan, segment, bitmap, ctx, charger,
+                                    provider, query, metric, k)
+
+    raise ExecutionError(f"unknown strategy {strategy}")
+
+
+def _postfilter_offsets(
+    plan: PhysicalPlan,
+    segment: Segment,
+    offsets: np.ndarray,
+    ctx: ExecContext,
+) -> np.ndarray:
+    """Boolean keep-mask for ``offsets`` under the scalar predicate,
+    reading only the candidate rows (charged through the column reader)."""
+    predicate = plan.logical.scalar_predicate
+    assert predicate is not None
+    needed = referenced_columns(predicate)
+    columns: Dict[str, Any] = {}
+    for name in needed:
+        if name == segment.meta.vector_column:
+            columns[name] = segment.vectors_at(offsets)
+        else:
+            columns[name] = ctx.reader.fetch(segment, name, offsets)
+    return evaluate_predicate(predicate, columns, int(offsets.size))
+
+
+def _execute_post_filter(
+    plan: PhysicalPlan,
+    segment: Segment,
+    bitmap: Optional[DeleteBitmap],
+    ctx: ExecContext,
+    charger: ScanCharger,
+    provider: Optional[SearchProvider],
+    query: np.ndarray,
+    metric: str,
+    k: int,
+) -> PartialResult:
+    """Plan C: iterate the ANN stream, filter each batch, stop at σ·k."""
+    logical = plan.logical
+    alive: Optional[np.ndarray] = None
+    if bitmap is not None and bitmap.deleted_count > 0:
+        alive = bitmap.alive_mask()
+    target = int(max(1.0, plan.sigma) * k)
+    batch_size = max(k, 32)
+    iterator = search_iterator_op(
+        provider, segment, query, metric, alive, charger, batch_size,
+        **plan.search_params,
+    )
+    kept_offsets: List[np.ndarray] = []
+    kept_distances: List[np.ndarray] = []
+    collected = 0
+    iterations = 0
+    while collected < target and iterations < MAX_POST_FILTER_ITERATIONS:
+        if iterator.exhausted:
+            break
+        batch = iterator.next_batch()
+        iterations += 1
+        if len(batch) == 0:
+            break
+        offsets = batch.ids
+        distances = batch.distances
+        if logical.scalar_predicate is not None:
+            keep = _postfilter_offsets(plan, segment, offsets, ctx)
+            offsets, distances = offsets[keep], distances[keep]
+        if offsets.size:
+            kept_offsets.append(offsets)
+            kept_distances.append(distances)
+            collected += int(offsets.size)
+    ctx.metrics.incr("postfilter.iterations", iterations)
+    if not kept_offsets:
+        return PartialResult(segment, np.empty(0, dtype=np.int64),
+                             np.empty(0, dtype=np.float64))
+    all_offsets = np.concatenate(kept_offsets)
+    all_distances = np.concatenate(kept_distances)
+    order = np.argsort(all_distances, kind="stable")[:k]
+    return PartialResult(segment, all_offsets[order], all_distances[order])
+
+
+# ----------------------------------------------------------------------
+# Merge + projection
+# ----------------------------------------------------------------------
+def _merge_partials(
+    plan: PhysicalPlan, partials: List[PartialResult]
+) -> List[Tuple[Segment, int, Optional[float]]]:
+    """Global top-k (vector queries) or concatenation (scalar queries)."""
+    logical = plan.logical
+    rows: List[Tuple[Segment, int, Optional[float]]] = []
+    if logical.is_vector_query:
+        for partial in partials:
+            if partial.distances is None:
+                continue
+            for offset, dist in zip(partial.offsets.tolist(), partial.distances.tolist()):
+                rows.append((partial.segment, int(offset), float(dist)))
+        rows.sort(key=lambda row: (row[2], row[0].segment_id, row[1]))
+        if logical.distance_range is not None:
+            rows = [row for row in rows if row[2] is not None
+                    and row[2] <= logical.distance_range]
+        if logical.k is not None:
+            # k already includes the offset (top-k pushdown rule), so the
+            # window is [offset, k).
+            rows = rows[logical.offset : logical.k]
+    else:
+        for partial in partials:
+            for offset in partial.offsets.tolist():
+                rows.append((partial.segment, int(offset), None))
+        if logical.k is not None:
+            rows = rows[logical.offset : logical.offset + logical.k]
+    return rows
+
+
+def _project(
+    plan: PhysicalPlan,
+    merged: List[Tuple[Segment, int, Optional[float]]],
+    ctx: ExecContext,
+) -> Tuple[List[str], List[Tuple[Any, ...]]]:
+    logical = plan.logical
+    names: List[str] = []
+    for column, alias in zip(logical.output_columns, logical.output_aliases):
+        if alias:
+            names.append(alias)
+        elif column == "__distance__":
+            names.append("distance")
+        else:
+            names.append(column)
+
+    # Group surviving rows by segment for batched column fetches.
+    by_segment: Dict[str, List[int]] = {}
+    segment_objects: Dict[str, Segment] = {}
+    for position, (segment, offset, _) in enumerate(merged):
+        by_segment.setdefault(segment.segment_id, []).append(position)
+        segment_objects[segment.segment_id] = segment
+
+    values_by_position: List[List[Any]] = [[None] * len(merged) for _ in names]
+    for col_idx, column in enumerate(logical.output_columns):
+        if column == "__distance__":
+            for position, (_, _, dist) in enumerate(merged):
+                values_by_position[col_idx][position] = dist
+            continue
+        for segment_id, positions in by_segment.items():
+            segment = segment_objects[segment_id]
+            offsets = [merged[p][1] for p in positions]
+            if column == segment.meta.vector_column:
+                fetched = segment.vectors_at(offsets)
+                ctx.clock.advance(
+                    ctx.cost.ram_read(int(np.asarray(fetched).nbytes))
+                )
+            else:
+                fetched = ctx.reader.fetch(segment, column, offsets)
+            for local, position in enumerate(positions):
+                value = fetched[local]
+                if isinstance(value, np.generic):
+                    value = value.item()
+                values_by_position[col_idx][position] = value
+
+    rows = [
+        tuple(values_by_position[col][pos] for col in range(len(names)))
+        for pos in range(len(merged))
+    ]
+    return names, rows
+
+
+def execute_segment(
+    plan: PhysicalPlan,
+    segment: Segment,
+    bitmap: Optional[DeleteBitmap],
+    ctx: ExecContext,
+) -> PartialResult:
+    """Run ``plan`` on one segment (the unit a cluster worker executes)."""
+    return _execute_segment(plan, segment, bitmap, ctx)
+
+
+def merge_and_project(
+    plan: PhysicalPlan,
+    partials: List[PartialResult],
+    ctx: ExecContext,
+    segments_scanned: int,
+) -> QueryResult:
+    """Merge partial top-k results and fetch the projected columns."""
+    merged = _merge_partials(plan, partials)
+    names, rows = _project(plan, merged, ctx)
+    return QueryResult(
+        columns=names,
+        rows=rows,
+        strategy=plan.strategy,
+        segments_scanned=segments_scanned,
+    )
+
+
+def execute_plan_on_segments(
+    plan: PhysicalPlan,
+    segments: List[Segment],
+    bitmaps: Dict[str, DeleteBitmap],
+    ctx: ExecContext,
+) -> QueryResult:
+    """Run ``plan`` over ``segments`` and merge into the final result."""
+    start = ctx.clock.now
+    partials = [
+        _execute_segment(plan, segment, bitmaps.get(segment.segment_id), ctx)
+        for segment in segments
+    ]
+    result = merge_and_project(plan, partials, ctx, len(segments))
+    result.simulated_seconds = ctx.clock.elapsed_since(start)
+    return result

@@ -1,0 +1,24 @@
+"""Ingestion: write path, pipelined index build, realtime update.
+
+* :mod:`repro.ingest.buildcost` — simulated index-build cost estimator
+  (the device-independent model behind Tables IV/V).
+* :mod:`repro.ingest.writer` — partition → segment → per-segment index
+  pipeline, with the two-stage write/build pipelining that gives
+  BlendHouse its ingest advantage (paper §V-B1).
+* :mod:`repro.ingest.update` — multi-version UPDATE/DELETE via delete
+  bitmaps (paper Fig 6).
+"""
+
+from repro.ingest.buildcost import estimate_index_build_cost
+from repro.ingest.update import UpdateResult, apply_delete, apply_update
+from repro.ingest.writer import IngestConfig, IngestReport, SegmentWriter
+
+__all__ = [
+    "IngestConfig",
+    "IngestReport",
+    "SegmentWriter",
+    "UpdateResult",
+    "apply_delete",
+    "apply_update",
+    "estimate_index_build_cost",
+]

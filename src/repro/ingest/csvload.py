@@ -1,0 +1,120 @@
+"""CSV bulk loading: ``INSERT INTO t CSV INFILE 'file.csv'``.
+
+The paper's Example 1 ingests with ``INSERT INTO images CSV INFILE
+'img_data.csv'``.  This module parses such files against a table schema:
+
+* the first row may be a header naming the columns (any order); without
+  one, columns are taken in DDL order;
+* vector cells are bracketed, comma-separated floats — e.g.
+  ``"[0.1, -0.2, 0.3]"`` — quoted so the commas survive CSV;
+* scalar cells are coerced to the declared column types.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.catalog.schema import ColumnType, TableSchema
+from repro.errors import SchemaError
+
+
+def parse_vector_cell(cell: str) -> np.ndarray:
+    """Parse a ``"[0.1, 0.2]"`` vector cell (brackets optional)."""
+    text = cell.strip()
+    if text.startswith("[") and text.endswith("]"):
+        text = text[1:-1]
+    if not text.strip():
+        return np.empty(0, dtype=np.float32)
+    try:
+        return np.array(
+            [float(part) for part in text.split(",")], dtype=np.float32
+        )
+    except ValueError as error:
+        raise SchemaError(f"malformed vector cell {cell!r}: {error}") from None
+
+
+def _coerce(cell: str, ctype: ColumnType) -> Any:
+    if ctype is ColumnType.VECTOR:
+        return parse_vector_cell(cell)
+    if ctype is ColumnType.STRING:
+        return cell
+    text = cell.strip()
+    try:
+        if ctype in (ColumnType.UINT64, ColumnType.INT64, ColumnType.DATETIME):
+            return int(float(text)) if "." in text or "e" in text.lower() else int(text)
+        return float(text)
+    except ValueError:
+        raise SchemaError(
+            f"cannot coerce cell {cell!r} to {ctype.value}"
+        ) from None
+
+
+def _resolve_column_order(
+    schema: TableSchema, first_row: Sequence[str], explicit: Optional[Sequence[str]]
+) -> tuple:
+    """(column order, whether the first row was a header)."""
+    if explicit:
+        order = list(explicit)
+        for name in order:
+            schema.column_type(name)  # raises on unknown columns
+        return order, False
+    stripped = [cell.strip() for cell in first_row]
+    if set(stripped) == set(schema.column_order):
+        return stripped, True
+    return list(schema.column_order), False
+
+
+def read_csv_rows(
+    path: str,
+    schema: TableSchema,
+    columns: Optional[Sequence[str]] = None,
+) -> List[Dict[str, Any]]:
+    """Parse a CSV file into row dicts validated against ``schema``.
+
+    Raises
+    ------
+    SchemaError
+        On unknown columns, arity mismatches, or uncoercible cells.
+    """
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        rows = [row for row in reader if row]
+    if not rows:
+        return []
+    order, had_header = _resolve_column_order(schema, rows[0], columns)
+    data_rows = rows[1:] if had_header else rows
+    out: List[Dict[str, Any]] = []
+    for line_number, row in enumerate(data_rows, start=2 if had_header else 1):
+        if len(row) != len(order):
+            raise SchemaError(
+                f"line {line_number}: expected {len(order)} cells, got {len(row)}"
+            )
+        record = {
+            name: _coerce(cell, schema.column_type(name))
+            for name, cell in zip(order, row)
+        }
+        out.append(record)
+    return out
+
+
+def write_csv_rows(
+    path: str, schema: TableSchema, rows: Sequence[Dict[str, Any]]
+) -> None:
+    """Write row dicts to CSV in the format :func:`read_csv_rows` accepts
+    (round-trip helper for examples and tests)."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(schema.column_order)
+        for row in rows:
+            cells = []
+            for name in schema.column_order:
+                value = row[name]
+                if schema.column_type(name) is ColumnType.VECTOR:
+                    vector = np.asarray(value, dtype=np.float32)
+                    cells.append("[" + ", ".join(f"{x:.8g}" for x in vector) + "]")
+                else:
+                    cells.append(str(value))
+            writer.writerow(cells)

@@ -1,0 +1,28 @@
+"""Partitioning and segment pruning (paper §IV-B).
+
+* :mod:`repro.partition.scalar` — PARTITION BY expression evaluation:
+  rows with different partition-key values land in different segments.
+* :mod:`repro.partition.semantic` — CLUSTER BY ... INTO n BUCKETS:
+  k-means over the vector column assigns rows to semantic buckets, each
+  summarized by a centroid.
+* :mod:`repro.partition.pruning` — query-time pruning: scalar pruning by
+  per-segment min/max statistics, semantic pruning by centroid distance,
+  with runtime-adaptive widening when too few results survive.
+"""
+
+from repro.partition.pruning import (
+    extract_column_intervals,
+    prune_segments_scalar,
+    rank_segments_semantic,
+)
+from repro.partition.scalar import compute_partition_keys
+from repro.partition.semantic import SemanticClustering, cluster_vectors
+
+__all__ = [
+    "SemanticClustering",
+    "cluster_vectors",
+    "compute_partition_keys",
+    "extract_column_intervals",
+    "prune_segments_scalar",
+    "rank_segments_semantic",
+]

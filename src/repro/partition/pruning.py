@@ -1,0 +1,194 @@
+"""Query-time segment pruning.
+
+Two prune passes run during scheduling (paper §II-C, §IV-B):
+
+* **Scalar pruning** — conjunctive range constraints are extracted from
+  the WHERE clause and checked against each segment's per-column min/max
+  statistics; a segment whose stats cannot intersect the constraint is
+  skipped entirely.
+* **Semantic pruning** — for tables with CLUSTER BY buckets, segments are
+  ranked by centroid distance to the query vector and only the nearest
+  fraction is scheduled.  Because centroid ranking is approximate, the
+  executor widens the kept set adaptively when fewer than ``k`` rows
+  survive (the paper's runtime adjustment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sqlparser.ast_nodes import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    Literal,
+    UnaryOp,
+)
+from repro.storage.segment import SegmentMeta
+
+
+@dataclass
+class Interval:
+    """Closed interval constraint on one column; None bounds are open."""
+
+    low: Optional[Any] = None
+    high: Optional[Any] = None
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """Tightest interval implied by both constraints."""
+        low = self.low if other.low is None else (
+            other.low if self.low is None else max(self.low, other.low)
+        )
+        high = self.high if other.high is None else (
+            other.high if self.high is None else min(self.high, other.high)
+        )
+        return Interval(low=low, high=high)
+
+
+def _literal_value(expr: Expression) -> Optional[Any]:
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, UnaryOp) and expr.op == "-" and isinstance(expr.operand, Literal):
+        value = expr.operand.value
+        if isinstance(value, (int, float)):
+            return -value
+    return None
+
+
+def _column_name(expr: Expression) -> Optional[str]:
+    if isinstance(expr, ColumnRef):
+        return expr.name
+    if isinstance(expr, FunctionCall) and expr.lowered_name == "toyyyymmdd" and expr.args:
+        # Identity on integer-coded dates, so constraints pass through.
+        return _column_name(expr.args[0])
+    return None
+
+
+def extract_column_intervals(predicate: Optional[Expression]) -> Dict[str, Interval]:
+    """Conjunctive per-column interval constraints implied by a predicate.
+
+    Only top-level AND-connected comparisons contribute; anything under
+    OR/NOT is ignored (pruning must stay conservative: never prune a
+    segment that could match).
+    """
+    intervals: Dict[str, Interval] = {}
+    if predicate is None:
+        return intervals
+
+    def merge(column: str, interval: Interval) -> None:
+        current = intervals.get(column, Interval())
+        intervals[column] = current.intersect(interval)
+
+    def walk(expr: Expression) -> None:
+        if isinstance(expr, BinaryOp):
+            if expr.op == "and":
+                walk(expr.left)
+                walk(expr.right)
+                return
+            if expr.op in ("=", "<", "<=", ">", ">="):
+                column = _column_name(expr.left)
+                value = _literal_value(expr.right)
+                op = expr.op
+                if column is None or value is None:
+                    column = _column_name(expr.right)
+                    value = _literal_value(expr.left)
+                    op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(expr.op, expr.op)
+                if column is None or value is None:
+                    return
+                if op == "=":
+                    merge(column, Interval(low=value, high=value))
+                elif op in ("<", "<="):
+                    merge(column, Interval(high=value))
+                elif op in (">", ">="):
+                    merge(column, Interval(low=value))
+            return
+        if isinstance(expr, Between) and not expr.negated:
+            column = _column_name(expr.operand)
+            low = _literal_value(expr.low)
+            high = _literal_value(expr.high)
+            if column is not None and low is not None and high is not None:
+                merge(column, Interval(low=low, high=high))
+            return
+        if isinstance(expr, InList) and not expr.negated:
+            column = _column_name(expr.operand)
+            values = [_literal_value(item) for item in expr.items]
+            if column is not None and all(v is not None for v in values):
+                merge(column, Interval(low=min(values), high=max(values)))
+            return
+        # OR / NOT / functions: contribute nothing (conservative).
+
+    walk(predicate)
+    return intervals
+
+
+def prune_segments_scalar(
+    metas: Sequence[SegmentMeta],
+    predicate: Optional[Expression],
+) -> List[SegmentMeta]:
+    """Segments whose column stats can intersect the predicate."""
+    intervals = extract_column_intervals(predicate)
+    if not intervals:
+        return list(metas)
+    kept: List[SegmentMeta] = []
+    for meta in metas:
+        admissible = True
+        for column, interval in intervals.items():
+            stats = meta.column_stats.get(column)
+            if stats is None:
+                continue  # no stats → cannot prune on this column
+            try:
+                if not stats.overlaps_range(interval.low, interval.high):
+                    admissible = False
+                    break
+            except TypeError:
+                # Mixed-type comparison (e.g. string constraint against a
+                # numeric column): never prune on unverifiable constraints.
+                continue
+        if admissible:
+            kept.append(meta)
+    return kept
+
+
+def rank_segments_semantic(
+    metas: Sequence[SegmentMeta],
+    query_vector: np.ndarray,
+) -> List[Tuple[float, SegmentMeta]]:
+    """Segments sorted by centroid distance to the query (nearest first).
+
+    Segments without centroids sort last (distance = inf) so they are
+    only reached when adaptive widening asks for everything.
+    """
+    query = np.asarray(query_vector, dtype=np.float32).reshape(-1)
+    ranked: List[Tuple[float, SegmentMeta]] = []
+    for meta in metas:
+        if meta.centroid is None:
+            ranked.append((float("inf"), meta))
+            continue
+        centroid = np.asarray(meta.centroid, dtype=np.float32)
+        ranked.append((float(np.linalg.norm(centroid - query)), meta))
+    ranked.sort(key=lambda pair: (pair[0], pair[1].segment_id))
+    return ranked
+
+
+def select_semantic_candidates(
+    metas: Sequence[SegmentMeta],
+    query_vector: np.ndarray,
+    keep: int,
+) -> Tuple[List[SegmentMeta], List[SegmentMeta]]:
+    """Split segments into (scheduled now, reserve for adaptive widening).
+
+    ``keep`` is the number of nearest-centroid segments scheduled in the
+    first round; the remainder is returned in rank order so the executor
+    can widen without re-ranking.
+    """
+    ranked = rank_segments_semantic(metas, query_vector)
+    keep = max(1, min(keep, len(ranked)))
+    scheduled = [meta for _, meta in ranked[:keep]]
+    reserve = [meta for _, meta in ranked[keep:]]
+    return scheduled, reserve

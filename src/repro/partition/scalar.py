@@ -1,0 +1,48 @@
+"""Scalar partitioning: PARTITION BY key computation.
+
+During ingest the system evaluates the partition-by expressions for each
+row and groups rows with equal key tuples into separate segments (paper
+§IV-B "Scalar partition").  Keys may be plain columns or expressions like
+``toYYYYMMDD(published_time)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.sqlparser.ast_nodes import Expression
+from repro.sqlparser.expressions import evaluate_expression
+
+
+def compute_partition_keys(
+    expressions: Sequence[Expression],
+    columns: Dict[str, Any],
+    row_count: int,
+) -> List[Tuple[Any, ...]]:
+    """Partition-key tuple for each of ``row_count`` rows.
+
+    An empty expression list yields the empty tuple for every row (a
+    single unpartitioned group).
+    """
+    if not expressions:
+        return [()] * row_count
+    per_expr: List[List[Any]] = []
+    for expression in expressions:
+        value = evaluate_expression(expression, columns, row_count)
+        if isinstance(value, np.ndarray):
+            per_expr.append([v.item() if hasattr(v, "item") else v for v in value])
+        elif isinstance(value, list):
+            per_expr.append(value)
+        else:
+            per_expr.append([value] * row_count)
+    return [tuple(values[i] for values in per_expr) for i in range(row_count)]
+
+
+def group_rows_by_key(keys: Sequence[Tuple[Any, ...]]) -> Dict[Tuple[Any, ...], List[int]]:
+    """Row offsets grouped by partition key, insertion order preserved."""
+    groups: Dict[Tuple[Any, ...], List[int]] = {}
+    for offset, key in enumerate(keys):
+        groups.setdefault(key, []).append(offset)
+    return groups

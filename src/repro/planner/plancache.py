@@ -1,0 +1,87 @@
+"""Parameterized plan cache (paper §IV-C "Query processing overhead").
+
+Hybrid workloads repeat the same query *shape* with different search
+vectors, filter constants, and thresholds.  Re-running the optimizer for
+each is pure overhead, so BlendHouse caches plans under a parameterized
+representation: the SQL token stream with every literal (numbers,
+strings, vector literal contents) replaced by a placeholder.
+
+A cache hit reuses the previously chosen strategy and search parameters;
+only the cheap binding step (which extracts the new literals) runs.  The
+engine charges ``plan_cached_overhead_s`` instead of ``plan_overhead_s``
+on hits, which is the Fig 17 "Query_Opt" effect.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.planner.optimizer import PhysicalPlan
+from repro.sqlparser.lexer import TokenType, tokenize
+
+
+def parameterize(sql: str) -> str:
+    """Structural signature of a SQL statement: literals become ``?``.
+
+    Runs of ``?`` inside vector literals collapse to a single ``[?]`` so
+    query vectors of any dimensionality share one signature.
+    """
+    parts = []
+    depth = 0  # inside [ ... ] vector literal
+    for token in tokenize(sql):
+        if token.type == TokenType.EOF:
+            break
+        if token.type == TokenType.LBRACKET:
+            depth += 1
+            parts.append("[?]")
+            continue
+        if token.type == TokenType.RBRACKET:
+            depth = max(0, depth - 1)
+            continue
+        if depth > 0:
+            continue  # vector literal contents are fully abstracted
+        if token.type in (TokenType.NUMBER, TokenType.STRING):
+            parts.append("?")
+            continue
+        parts.append(token.value.upper() if token.type == TokenType.KEYWORD else token.value)
+    return " ".join(parts)
+
+
+class PlanCache:
+    """LRU cache of physical-plan templates keyed by signature."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("plan cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, PhysicalPlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, sql: str) -> Optional[PhysicalPlan]:
+        """Cached plan template for this query shape, or None."""
+        key = parameterize(sql)
+        plan = self._entries.get(key)
+        if plan is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return plan
+
+    def store(self, sql: str, plan: PhysicalPlan) -> None:
+        """Remember ``plan`` as the template for this query shape."""
+        key = parameterize(sql)
+        if key in self._entries:
+            self._entries.pop(key)
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[key] = plan
+
+    def invalidate(self) -> None:
+        """Drop everything (schema or statistics changed materially)."""
+        self._entries.clear()

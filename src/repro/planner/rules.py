@@ -1,0 +1,78 @@
+"""Rule-based optimizations (paper §II-C).
+
+Three rewrite rules run on every bound plan:
+
+* **Distance top-k pushdown** — the Sort(distance) + Limit pair collapses
+  into the ANN scan's ``k``, so no full sort ever materializes.  In this
+  implementation the binding step already fuses the pair; the rule
+  validates and records it.
+* **Distance range filter pushdown** — ``distance(...) < r`` conjuncts
+  extracted by the binder become the ANN scan's radius, enabling
+  SearchWithRange instead of filter-after-scan.
+* **Vector column pruning** — the (large) vector column is only read
+  when the projection actually needs it; ANN scans work off the index.
+
+Rules are pure functions ``plan -> plan`` collected in
+:data:`DEFAULT_RULES` so plugins can extend the rewrite set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List
+
+from repro.planner.logical import HybridLogicalPlan
+
+Rule = Callable[[HybridLogicalPlan], HybridLogicalPlan]
+
+
+def topk_pushdown(plan: HybridLogicalPlan) -> HybridLogicalPlan:
+    """Fuse Sort(distance)+Limit into the ANN operator's k.
+
+    The binder emits ``k`` already fused; this rule normalizes degenerate
+    values (k larger than needed with offset folded in).
+    """
+    if not plan.is_vector_query or plan.k is None:
+        return plan
+    # The ANN operator must produce offset + k rows; the executor slices.
+    effective_k = plan.k + plan.offset
+    if effective_k == plan.k:
+        return plan
+    return replace(plan, k=effective_k, offset=plan.offset)
+
+
+def range_filter_pushdown(plan: HybridLogicalPlan) -> HybridLogicalPlan:
+    """Ensure distance range constraints ride on the ANN scan.
+
+    Extraction happens during binding; a plan arriving here with a
+    ``distance_range`` but no distance operator is a pure range scan and
+    stays as-is (the executor runs SearchWithRange).
+    """
+    return plan
+
+
+def vector_column_pruning(plan: HybridLogicalPlan) -> HybridLogicalPlan:
+    """Drop the vector column from the fetch set unless projected.
+
+    The binder computes ``needs_vector_column`` against the schema's
+    vector column; the rule enforces the invariant that a plan may only
+    ever *narrow* its reads — a rewrite that cleared the projection of
+    the vector column clears the flag with it.
+    """
+    if plan.needs_vector_column and not plan.output_columns:
+        return replace(plan, needs_vector_column=False)
+    return plan
+
+
+DEFAULT_RULES: List[Rule] = [
+    topk_pushdown,
+    range_filter_pushdown,
+    vector_column_pruning,
+]
+
+
+def apply_rules(plan: HybridLogicalPlan, rules: List[Rule] = None) -> HybridLogicalPlan:
+    """Run every rewrite rule once, in order."""
+    for rule in rules or DEFAULT_RULES:
+        plan = rule(plan)
+    return plan

@@ -1,0 +1,113 @@
+"""Device cost model for the disaggregated architecture.
+
+All performance-relevant constants live in one dataclass so experiments can
+sweep them (ablation hook, see DESIGN.md §5).  Defaults are order-of-
+magnitude figures for a cloud deployment circa the paper:
+
+* RAM: ~100 ns latency, ~10 GB/s effective bandwidth.
+* Local NVMe: ~100 µs latency, ~2 GB/s.
+* Object storage (S3-like): ~30 ms first-byte latency, ~200 MB/s.
+* Intra-VW RPC: ~0.5 ms round trip.
+* Distance computation: per-dimension multiply-add cost.
+
+The ratios between tiers — not the absolute values — drive every
+architecture-level result in the paper (cache-miss cliffs, serving RPC
+benefit, read amplification).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DeviceCostModel:
+    """Latency/bandwidth/compute constants used to charge simulated time.
+
+    Attributes are in seconds or bytes/second.  Use :meth:`scaled` to derive
+    variants for sensitivity sweeps.
+    """
+
+    # Memory tier.
+    ram_latency_s: float = 1e-7
+    ram_bandwidth_bps: float = 10e9
+
+    # Local disk (NVMe SSD) tier.
+    disk_latency_s: float = 1e-4
+    disk_bandwidth_bps: float = 2e9
+
+    # Remote shared object storage tier.
+    object_store_latency_s: float = 30e-3
+    object_store_bandwidth_bps: float = 200e6
+
+    # Intra-virtual-warehouse RPC round trip (vector search serving).
+    rpc_round_trip_s: float = 5e-4
+    rpc_bandwidth_bps: float = 1e9
+
+    # Compute costs.
+    distance_flop_s: float = 5e-10           # per dimension per vector pair
+    adc_lookup_s: float = 2e-9               # per sub-quantizer table lookup
+    bitmap_test_s: float = 4e-9              # per bitset membership test
+    hash_s: float = 1e-7                     # one hash evaluation
+    row_decode_s: float = 2e-8               # decode one scalar cell
+    plan_overhead_s: float = 2e-3            # full parse+optimize of a query
+    plan_cached_overhead_s: float = 1e-4     # cached-plan parameter binding
+    # k-means assignment is dense GEMM running near peak throughput,
+    # roughly an order of magnitude cheaper per flop than branch-heavy
+    # graph traversal.
+    kmeans_iter_flop_s: float = 5e-11        # per dim per point per centroid
+
+    def transfer_time(self, nbytes: int, latency_s: float, bandwidth_bps: float) -> float:
+        """Latency plus bandwidth-proportional time to move ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        return latency_s + nbytes / bandwidth_bps
+
+    def ram_read(self, nbytes: int) -> float:
+        """Cost of reading ``nbytes`` from local RAM."""
+        return self.transfer_time(nbytes, self.ram_latency_s, self.ram_bandwidth_bps)
+
+    def disk_read(self, nbytes: int) -> float:
+        """Cost of reading ``nbytes`` from the local disk cache tier."""
+        return self.transfer_time(nbytes, self.disk_latency_s, self.disk_bandwidth_bps)
+
+    def disk_write(self, nbytes: int) -> float:
+        """Cost of writing ``nbytes`` to local disk (same model as reads)."""
+        return self.transfer_time(nbytes, self.disk_latency_s, self.disk_bandwidth_bps)
+
+    def object_store_read(self, nbytes: int) -> float:
+        """Cost of a GET of ``nbytes`` from remote shared storage."""
+        return self.transfer_time(
+            nbytes, self.object_store_latency_s, self.object_store_bandwidth_bps
+        )
+
+    def object_store_write(self, nbytes: int) -> float:
+        """Cost of a PUT of ``nbytes`` to remote shared storage."""
+        return self.transfer_time(
+            nbytes, self.object_store_latency_s, self.object_store_bandwidth_bps
+        )
+
+    def rpc_call(self, request_bytes: int, response_bytes: int) -> float:
+        """Cost of one serving RPC: round trip plus payload transfer."""
+        payload = request_bytes + response_bytes
+        return self.rpc_round_trip_s + payload / self.rpc_bandwidth_bps
+
+    def distance_cost(self, n_vectors: int, dim: int) -> float:
+        """Cost of exact pairwise distances against ``n_vectors`` of ``dim``."""
+        return n_vectors * dim * self.distance_flop_s
+
+    def adc_cost(self, n_codes: int, n_subquantizers: int) -> float:
+        """Cost of asymmetric distance computation over PQ codes."""
+        return n_codes * n_subquantizers * self.adc_lookup_s
+
+    def bitmap_cost(self, n_tests: int) -> float:
+        """Cost of ``n_tests`` bitset membership checks during bitmap ANN scan."""
+        return n_tests * self.bitmap_test_s
+
+    def kmeans_cost(self, n_points: int, dim: int, k: int, iterations: int) -> float:
+        """Cost of Lloyd's k-means used for IVF training / semantic partition."""
+        return n_points * dim * k * iterations * self.kmeans_iter_flop_s
+
+    def scaled(self, **overrides: float) -> "DeviceCostModel":
+        """Return a copy with some constants replaced (for sweeps)."""
+        return replace(self, **overrides)

@@ -1,0 +1,183 @@
+"""Metric collectors: latency distributions, throughput windows, counters.
+
+Benchmarks record per-query simulated latencies with
+:class:`LatencyRecorder` and derive QPS either from total time
+(``count / span``) or from sliding :class:`ThroughputWindow` samples (used
+by the elasticity experiment, Fig 18, which needs QPS *during* scaling).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile ``q`` in [0, 100] of pre-sorted data."""
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile out of range: {q}")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    rank = (q / 100.0) * (len(sorted_values) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(sorted_values[low])
+    frac = rank - low
+    return float(sorted_values[low] * (1 - frac) + sorted_values[high] * frac)
+
+
+@dataclass
+class LatencySummary:
+    """Frozen summary of a latency distribution (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view, convenient for printing bench tables."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+class LatencyRecorder:
+    """Accumulates per-query latencies and summarizes them."""
+
+    def __init__(self) -> None:
+        self._values: List[float] = []
+
+    def record(self, seconds: float) -> None:
+        """Record one observation; negative latencies are invalid."""
+        if seconds < 0:
+            raise ValueError(f"negative latency: {seconds}")
+        self._values.append(seconds)
+
+    def extend(self, seconds: Sequence[float]) -> None:
+        """Record many observations at once."""
+        for value in seconds:
+            self.record(value)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded observations."""
+        return len(self._values)
+
+    @property
+    def values(self) -> List[float]:
+        """Copy of the raw observations in record order."""
+        return list(self._values)
+
+    def total(self) -> float:
+        """Sum of all recorded latencies."""
+        return sum(self._values)
+
+    def qps(self) -> float:
+        """Throughput assuming queries ran back to back on one stream."""
+        total = self.total()
+        if total <= 0:
+            return 0.0
+        return self.count / total
+
+    def summary(self) -> LatencySummary:
+        """Percentile summary of everything recorded so far."""
+        if not self._values:
+            raise ValueError("no latencies recorded")
+        ordered = sorted(self._values)
+        return LatencySummary(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=percentile(ordered, 50),
+            p95=percentile(ordered, 95),
+            p99=percentile(ordered, 99),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+        )
+
+    def clear(self) -> None:
+        """Drop all observations."""
+        self._values.clear()
+
+
+class ThroughputWindow:
+    """Time-bucketed completion counter for QPS-over-time series.
+
+    Events are recorded at simulated timestamps; :meth:`series` returns
+    ``(bucket_start, qps)`` pairs.  Used by the elasticity bench, which
+    plots QPS while the virtual warehouse scales.
+    """
+
+    def __init__(self, bucket_seconds: float) -> None:
+        if bucket_seconds <= 0:
+            raise ValueError("bucket width must be positive")
+        self.bucket_seconds = bucket_seconds
+        self._buckets: Dict[int, int] = defaultdict(int)
+
+    def record(self, timestamp: float) -> None:
+        """Record one query completion at ``timestamp``."""
+        if timestamp < 0:
+            raise ValueError(f"negative timestamp: {timestamp}")
+        self._buckets[int(timestamp // self.bucket_seconds)] += 1
+
+    def series(self) -> List[tuple]:
+        """Sorted ``(bucket_start_time, qps)`` pairs covering observed buckets."""
+        if not self._buckets:
+            return []
+        first = min(self._buckets)
+        last = max(self._buckets)
+        out = []
+        for bucket in range(first, last + 1):
+            count = self._buckets.get(bucket, 0)
+            out.append((bucket * self.bucket_seconds, count / self.bucket_seconds))
+        return out
+
+
+@dataclass
+class MetricRegistry:
+    """Named counters and latency recorders shared by a component tree.
+
+    A single registry is threaded through the engine so tests and benches
+    can assert on internals (cache hits, RPC calls, brute-force fallbacks)
+    without reaching into private state.
+    """
+
+    counters: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    latencies: Dict[str, LatencyRecorder] = field(
+        default_factory=lambda: defaultdict(LatencyRecorder)
+    )
+
+    def incr(self, name: str, delta: int = 1) -> None:
+        """Increment counter ``name`` by ``delta``."""
+        self.counters[name] += delta
+
+    def count(self, name: str) -> int:
+        """Current value of counter ``name`` (zero if never incremented)."""
+        return self.counters.get(name, 0)
+
+    def record_latency(self, name: str, seconds: float) -> None:
+        """Record a latency observation under ``name``."""
+        self.latencies[name].record(seconds)
+
+    def latency(self, name: str) -> LatencyRecorder:
+        """Recorder for ``name``, created on first use."""
+        return self.latencies[name]
+
+    def reset(self) -> None:
+        """Zero all counters and drop all latency observations."""
+        self.counters.clear()
+        self.latencies.clear()

@@ -1,0 +1,64 @@
+"""SQL dialect front-end.
+
+BlendHouse's interface rule (paper §II-B): reuse existing SQL syntax and
+never disrupt its semantics.  Vector search is therefore expressed with
+ordinary ``ORDER BY <DistanceFunction>(col, [query vector]) LIMIT k``
+clauses; hybrid queries simply add ``WHERE``; index creation reuses the
+``INDEX`` clause with new types; semantic partitioning adds
+``CLUSTER BY <col> INTO <n> BUCKETS``.
+
+Grammar implemented here (statements): CREATE TABLE, DROP TABLE, INSERT,
+SELECT, UPDATE, DELETE, SET.
+"""
+
+from repro.sqlparser.ast_nodes import (
+    BinaryOp,
+    Between,
+    ColumnDef,
+    ColumnRef,
+    CreateTable,
+    Delete,
+    DropTable,
+    FunctionCall,
+    InList,
+    Insert,
+    IndexDef,
+    Literal,
+    OrderByItem,
+    Select,
+    SetStatement,
+    Statement,
+    UnaryOp,
+    Update,
+    VectorLiteral,
+)
+from repro.sqlparser.lexer import Token, TokenType, tokenize
+from repro.sqlparser.parser import parse_statement
+from repro.sqlparser.expressions import evaluate_predicate
+
+__all__ = [
+    "Between",
+    "BinaryOp",
+    "ColumnDef",
+    "ColumnRef",
+    "CreateTable",
+    "Delete",
+    "DropTable",
+    "FunctionCall",
+    "InList",
+    "IndexDef",
+    "Insert",
+    "Literal",
+    "OrderByItem",
+    "Select",
+    "SetStatement",
+    "Statement",
+    "Token",
+    "TokenType",
+    "UnaryOp",
+    "Update",
+    "VectorLiteral",
+    "evaluate_predicate",
+    "parse_statement",
+    "tokenize",
+]

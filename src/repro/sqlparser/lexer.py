@@ -1,0 +1,161 @@
+"""Hand-written SQL lexer.
+
+Produces a flat token stream for the recursive-descent parser.  Keywords
+are recognized case-insensitively but identifiers preserve their case.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "CREATE", "TABLE", "DROP", "IF", "NOT", "EXISTS", "INDEX", "TYPE",
+    "ORDER", "BY", "PARTITION", "CLUSTER", "INTO", "BUCKETS", "INSERT",
+    "VALUES", "SELECT", "FROM", "WHERE", "AND", "OR", "LIMIT", "AS",
+    "ASC", "DESC", "BETWEEN", "IN", "LIKE", "REGEXP", "UPDATE", "SET",
+    "DELETE", "NULL", "TRUE", "FALSE", "IS", "OFFSET", "CSV", "INFILE",
+}
+
+
+class TokenType(enum.Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMICOLON = ";"
+    EOF = "eof"
+
+
+@dataclass
+class Token:
+    """One lexed token with its source position for error messages."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        """Whether this token is one of the given keywords."""
+        return self.type == TokenType.KEYWORD and self.value in names
+
+
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "+", "-", "*", "/", "%")
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Lex ``sql`` into tokens, ending with an EOF token.
+
+    Raises
+    ------
+    ParseError
+        On unterminated strings or unexpected characters.
+    """
+    tokens: List[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and i + 1 < n and sql[i + 1] == "-":
+            # Line comment.
+            end = sql.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "'" or ch == '"':
+            end = i + 1
+            buffer: List[str] = []
+            while end < n and sql[end] != ch:
+                if sql[end] == "\\" and end + 1 < n:
+                    buffer.append(sql[end + 1])
+                    end += 2
+                    continue
+                buffer.append(sql[end])
+                end += 1
+            if end >= n:
+                raise ParseError(f"unterminated string starting at {i}", position=i)
+            tokens.append(Token(TokenType.STRING, "".join(buffer), i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            end = i
+            seen_dot = False
+            seen_exp = False
+            while end < n:
+                c = sql[end]
+                if c.isdigit():
+                    end += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    end += 1
+                elif c in "eE" and not seen_exp and end > i:
+                    seen_exp = True
+                    end += 1
+                    if end < n and sql[end] in "+-":
+                        end += 1
+                else:
+                    break
+            tokens.append(Token(TokenType.NUMBER, sql[i:end], i))
+            i = end
+            continue
+        if ch.isalpha() or ch == "_":
+            end = i
+            while end < n and (sql[end].isalnum() or sql[end] == "_"):
+                end += 1
+            word = sql[i:end]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, i))
+            i = end
+            continue
+        if ch == "(":
+            tokens.append(Token(TokenType.LPAREN, ch, i))
+            i += 1
+            continue
+        if ch == ")":
+            tokens.append(Token(TokenType.RPAREN, ch, i))
+            i += 1
+            continue
+        if ch == "[":
+            tokens.append(Token(TokenType.LBRACKET, ch, i))
+            i += 1
+            continue
+        if ch == "]":
+            tokens.append(Token(TokenType.RBRACKET, ch, i))
+            i += 1
+            continue
+        if ch == ",":
+            tokens.append(Token(TokenType.COMMA, ch, i))
+            i += 1
+            continue
+        if ch == ";":
+            tokens.append(Token(TokenType.SEMICOLON, ch, i))
+            i += 1
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                tokens.append(Token(TokenType.OPERATOR, op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        raise ParseError(f"unexpected character {ch!r} at position {i}", position=i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

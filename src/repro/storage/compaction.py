@@ -1,0 +1,265 @@
+"""Background segment compaction with automatic index rebuild.
+
+The LSM engine continuously merges small segments into larger ones; the
+per-segment index design makes vector-index consolidation free — the
+compaction task simply builds one new index for the merged segment
+(paper §III-B "Vector index compaction").  Compaction also physically
+drops rows marked dead by updates, which is what restores query
+performance in Fig 14.
+
+Merge policy: within each (level, partition key, bucket) group, when the
+group holds at least ``fanout`` segments — or any segment's deleted
+fraction exceeds ``max_deleted_fraction`` — up to ``fanout`` oldest
+segments merge into one at the next level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.catalog.catalog import TableEntry
+from repro.ingest.buildcost import estimate_index_build_cost
+from repro.simulate.clock import SimulatedClock
+from repro.simulate.costmodel import DeviceCostModel
+from repro.simulate.metrics import MetricRegistry
+from repro.storage.lsm import SegmentManager, index_storage_key
+from repro.storage.objectstore import ObjectStore
+from repro.storage.segment import Segment
+from repro.vindex.autoindex import auto_build_spec, select_ivf_nlist, tune_nlist_by_probe
+from repro.vindex.registry import create_index, serialize_index
+
+RetireHook = Callable[[str, Optional[str]], None]
+
+
+@dataclass
+class CompactionConfig:
+    """Compaction policy knobs."""
+
+    fanout: int = 4
+    max_deleted_fraction: float = 0.3
+    max_level: int = 6
+    delete_retired_objects: bool = True
+    # Off the ingest path, compaction may refine IVF build parameters by
+    # measurement instead of the quick rule (paper §III-B: "for
+    # background compaction tasks, we combine the rule-based methods
+    # with auto-tuning tools").
+    auto_tune_ivf: bool = False
+    auto_tune_queries: int = 6
+
+
+@dataclass
+class CompactionResult:
+    """One merge: which segments went in, what came out."""
+
+    input_segment_ids: List[str]
+    output_segment_id: str
+    rows_in: int
+    rows_out: int
+    dropped_dead_rows: int
+    simulated_seconds: float
+
+
+@dataclass
+class Compactor:
+    """Background compaction driver for one table."""
+
+    entry: TableEntry
+    manager: SegmentManager
+    store: ObjectStore
+    clock: SimulatedClock
+    cost: DeviceCostModel = field(default_factory=DeviceCostModel)
+    metrics: MetricRegistry = field(default_factory=MetricRegistry)
+    config: CompactionConfig = field(default_factory=CompactionConfig)
+    retire_hooks: List[RetireHook] = field(default_factory=list)
+
+    def on_retire(self, hook: RetireHook) -> None:
+        """Register a callback fired with (segment_id, index_key) when a
+        segment is retired — workers use it to invalidate index caches."""
+        self.retire_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Policy
+    # ------------------------------------------------------------------
+    def _groups(self) -> Dict[Tuple[int, Tuple[Any, ...], Optional[int]], List[Segment]]:
+        groups: Dict[Tuple[int, Tuple[Any, ...], Optional[int]], List[Segment]] = {}
+        for segment in self.manager.segments():
+            meta = segment.meta
+            key = (meta.level, meta.partition_key, meta.bucket_id)
+            groups.setdefault(key, []).append(segment)
+        return groups
+
+    def pick_merge_candidates(self) -> List[List[Segment]]:
+        """Groups of segments that should merge now, oldest first."""
+        candidates: List[List[Segment]] = []
+        for (level, _, _), segments in sorted(
+            self._groups().items(), key=lambda kv: (kv[0][0], str(kv[0][1]), str(kv[0][2]))
+        ):
+            if level >= self.config.max_level:
+                continue
+            dirty = [
+                seg for seg in segments
+                if seg.row_count > 0
+                and self.manager.bitmap(seg.segment_id).deleted_count
+                > self.config.max_deleted_fraction * seg.row_count
+            ]
+            if len(segments) >= self.config.fanout:
+                candidates.append(segments[: self.config.fanout])
+            elif dirty:
+                candidates.append(segments)
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_once(self) -> List[CompactionResult]:
+        """Execute one round of merges; returns what was compacted."""
+        results = []
+        for group in self.pick_merge_candidates():
+            results.append(self._merge(group))
+        return results
+
+    def compact_all(self, max_rounds: int = 32) -> List[CompactionResult]:
+        """Run rounds until the policy finds nothing to merge."""
+        all_results: List[CompactionResult] = []
+        for _ in range(max_rounds):
+            round_results = self.run_once()
+            if not round_results:
+                break
+            all_results.extend(round_results)
+        return all_results
+
+    def _maybe_auto_tune(self, spec, vectors: np.ndarray):
+        """Measured nlist refinement for IVF-family indexes.
+
+        Probes the rule-based choice against its half and double using a
+        small sampled query set; returns (possibly adjusted spec,
+        simulated tuning cost).  The cost charged is the k-means work of
+        building the probe indexes — the price of tuning off the ingest
+        path.
+        """
+        if (
+            not self.config.auto_tune_ivf
+            or spec.index_type not in ("IVFFLAT", "IVFPQ", "IVFPQFS")
+            or vectors.shape[0] < 64
+        ):
+            return spec, 0.0
+        rule = int(spec.params.get("nlist", select_ivf_nlist(vectors.shape[0])))
+        candidates = sorted({max(1, rule // 2), rule, rule * 2})
+        queries = vectors[:: max(1, vectors.shape[0] // self.config.auto_tune_queries)][
+            : self.config.auto_tune_queries
+        ]
+        best, timings = tune_nlist_by_probe(vectors, candidates, queries)
+        tuning_cost = sum(
+            self.cost.kmeans_cost(vectors.shape[0], vectors.shape[1], c, 10)
+            for c in timings
+        )
+        self.metrics.incr("compaction.auto_tunes")
+        return spec.with_params(nlist=int(best)), tuning_cost
+
+    def _merge(self, group: List[Segment]) -> CompactionResult:
+        """Merge one group into a single next-level segment."""
+        schema = self.entry.schema
+        first = group[0]
+        alive_scalars: Dict[str, List[Any]] = {
+            name: [] for name in first.scalar_column_names
+        }
+        alive_vectors: List[np.ndarray] = []
+        rows_in = 0
+        dead = 0
+        for segment in group:
+            bitmap = self.manager.bitmap(segment.segment_id)
+            alive = np.flatnonzero(bitmap.alive_mask())
+            rows_in += segment.row_count
+            dead += segment.row_count - int(alive.size)
+            if alive.size == 0:
+                continue
+            for name in segment.scalar_column_names:
+                column = segment.scalar_column(name)
+                if isinstance(column, np.ndarray):
+                    alive_scalars[name].extend(column[alive].tolist())
+                else:
+                    alive_scalars[name].extend(column[i] for i in alive.tolist())
+            alive_vectors.append(segment.vectors_at(alive))
+
+        merged_vectors = (
+            np.vstack(alive_vectors)
+            if alive_vectors
+            else np.empty((0, first.dim), dtype=np.float32)
+        )
+        merged_scalars: Dict[str, Any] = {}
+        for name, values in alive_scalars.items():
+            column = first.scalar_column(name)
+            if isinstance(column, np.ndarray):
+                merged_scalars[name] = np.asarray(values, dtype=column.dtype)
+            else:
+                merged_scalars[name] = list(values)
+
+        new_id = self.entry.allocate_segment_id()
+        merged = Segment.from_columns(
+            segment_id=new_id,
+            table=schema.name,
+            scalar_columns=merged_scalars,
+            vectors=merged_vectors,
+            vector_column=first.meta.vector_column,
+            level=first.meta.level + 1,
+            partition_key=first.meta.partition_key,
+            bucket_id=first.meta.bucket_id,
+        )
+
+        simulated = 0.0
+        index_key = None
+        with self.clock.paused():
+            merged.persist(self.store)
+            simulated += self.cost.object_store_write(merged.meta.total_nbytes)
+            if schema.index_spec is not None and merged.row_count > 0:
+                spec = auto_build_spec(schema.index_spec, merged.row_count)
+                spec, tuning_cost = self._maybe_auto_tune(spec, merged_vectors)
+                simulated += tuning_cost
+                vindex = create_index(spec)
+                vindex.train(merged_vectors)
+                vindex.add_with_ids(merged_vectors, np.arange(merged.row_count))
+                refiner_setter = getattr(vindex, "set_refiner", None)
+                if callable(refiner_setter):
+                    refiner_setter(lambda ids, seg=merged: seg.vectors_at(ids))
+                payload = serialize_index(vindex)
+                index_key = index_storage_key(new_id, spec.index_type)
+                self.store.put(index_key, payload)
+                merged.meta.index_type = spec.index_type
+                simulated += estimate_index_build_cost(
+                    spec.index_type, merged.row_count, merged.dim, spec.params, self.cost
+                )
+                simulated += self.cost.object_store_write(len(payload))
+
+            # Retire inputs after the replacement is fully persisted.
+            for segment in group:
+                old_index_key = self.manager.index_key(segment.segment_id)
+                self.manager.drop(segment.segment_id)
+                if segment.segment_id in self.entry.segment_ids:
+                    self.entry.segment_ids.remove(segment.segment_id)
+                for hook in self.retire_hooks:
+                    hook(segment.segment_id, old_index_key)
+                if self.config.delete_retired_objects:
+                    for column in list(segment.scalar_column_names) + [
+                        segment.meta.vector_column
+                    ]:
+                        self.store.delete(Segment.column_key(segment.segment_id, column))
+                    self.store.delete(Segment.meta_key(segment.segment_id))
+                    if old_index_key is not None:
+                        self.store.delete(old_index_key)
+
+            self.manager.commit(merged, index_key=index_key)
+            self.entry.segment_ids.append(new_id)
+        self.clock.advance(simulated)
+        self.metrics.incr("compaction.merges")
+        self.metrics.incr("compaction.rows_dropped", dead)
+        return CompactionResult(
+            input_segment_ids=[segment.segment_id for segment in group],
+            output_segment_id=new_id,
+            rows_in=rows_in,
+            rows_out=merged.row_count,
+            dropped_dead_rows=dead,
+            simulated_seconds=simulated,
+        )

@@ -1,0 +1,101 @@
+"""Per-worker local disk cache tier.
+
+Workers keep recently used vector indexes and column blocks on local disk
+so repeated cold reads don't hit the remote object store (paper §II-D,
+"hierarchical vector index cache").  The tier is capacity-bounded and
+evicts least-recently-used entries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.errors import ObjectNotFoundError
+from repro.simulate.clock import SimulatedClock
+from repro.simulate.costmodel import DeviceCostModel
+from repro.simulate.metrics import MetricRegistry
+
+
+class LocalDisk:
+    """Bounded LRU byte cache charged at local-disk speeds.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Maximum total payload bytes held; inserting beyond it evicts LRU
+        entries.  Single payloads larger than capacity are refused (they
+        would evict everything for no reuse benefit).
+    """
+
+    def __init__(
+        self,
+        clock: SimulatedClock,
+        capacity_bytes: int,
+        cost_model: Optional[DeviceCostModel] = None,
+        metrics: Optional[MetricRegistry] = None,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("local disk capacity must be positive")
+        self._clock = clock
+        self._cost = cost_model or DeviceCostModel()
+        self._metrics = metrics or MetricRegistry()
+        self.capacity_bytes = capacity_bytes
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self._used = 0
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently stored."""
+        return self._used
+
+    def write(self, key: str, payload: bytes) -> bool:
+        """Cache ``payload``; returns False if it exceeds total capacity."""
+        size = len(payload)
+        if size > self.capacity_bytes:
+            self._metrics.incr("localdisk.write_rejected")
+            return False
+        if key in self._entries:
+            self._used -= len(self._entries.pop(key))
+        while self._used + size > self.capacity_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._used -= len(evicted)
+            self._metrics.incr("localdisk.evictions")
+        self._clock.advance(self._cost.disk_write(size))
+        self._entries[key] = bytes(payload)
+        self._used += size
+        return True
+
+    def read(self, key: str) -> bytes:
+        """Read a cached payload, refreshing its recency.
+
+        Raises
+        ------
+        ObjectNotFoundError
+            On a cache miss; callers fall through to the object store.
+        """
+        try:
+            payload = self._entries[key]
+        except KeyError:
+            self._metrics.incr("localdisk.misses")
+            raise ObjectNotFoundError(f"not on local disk: {key!r}") from None
+        self._entries.move_to_end(key)
+        self._clock.advance(self._cost.disk_read(len(payload)))
+        self._metrics.incr("localdisk.hits")
+        return payload
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def evict(self, key: str) -> bool:
+        """Explicitly drop ``key``; returns whether it was present."""
+        payload = self._entries.pop(key, None)
+        if payload is None:
+            return False
+        self._used -= len(payload)
+        return True
+
+    def clear(self) -> None:
+        """Drop everything (models a worker losing its ephemeral disk)."""
+        self._entries.clear()
+        self._used = 0

@@ -1,0 +1,146 @@
+"""LSM-style segment manager.
+
+ByteHouse's storage engine keeps tables as sorted immutable segments that
+are periodically compacted (paper §VI-A).  The manager tracks, per table:
+
+* the set of *visible* segments (by id, with their in-memory objects),
+* one delete bitmap per segment (realtime update, Fig 6),
+* the object-store keys of each segment's persisted vector index,
+* LSM levels so the compactor can pick merge candidates.
+
+Segments are never mutated: updates mark old rows dead and commit new
+segments; compaction replaces many small segments with one larger one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import SegmentError
+from repro.storage.deletebitmap import DeleteBitmap
+from repro.storage.segment import Segment, SegmentMeta
+
+
+@dataclass
+class _SegmentRecord:
+    """Bookkeeping for one visible segment."""
+
+    segment: Segment
+    bitmap: DeleteBitmap
+    index_key: Optional[str] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+def index_storage_key(segment_id: str, index_type: str) -> str:
+    """Object-store key under which a segment's vector index persists."""
+    return f"indexes/{segment_id}/{index_type}"
+
+
+class SegmentManager:
+    """Visibility and lifecycle of one table's segments."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, _SegmentRecord] = {}
+        self._commit_order: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Commit / drop
+    # ------------------------------------------------------------------
+    def commit(self, segment: Segment, index_key: Optional[str] = None) -> None:
+        """Make a freshly written segment visible.
+
+        Raises
+        ------
+        SegmentError
+            If a segment with the same id is already visible.
+        """
+        if segment.segment_id in self._records:
+            raise SegmentError(f"segment {segment.segment_id!r} already committed")
+        self._records[segment.segment_id] = _SegmentRecord(
+            segment=segment,
+            bitmap=DeleteBitmap(segment.row_count),
+            index_key=index_key,
+        )
+        self._commit_order.append(segment.segment_id)
+
+    def drop(self, segment_id: str) -> Segment:
+        """Remove a segment from visibility (compaction retires inputs)."""
+        record = self._records.pop(segment_id, None)
+        if record is None:
+            raise SegmentError(f"segment {segment_id!r} is not visible")
+        self._commit_order.remove(segment_id)
+        return record.segment
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __contains__(self, segment_id: str) -> bool:
+        return segment_id in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def segment(self, segment_id: str) -> Segment:
+        """The live segment object for ``segment_id``."""
+        return self._record(segment_id).segment
+
+    def bitmap(self, segment_id: str) -> DeleteBitmap:
+        """The delete bitmap for ``segment_id``."""
+        return self._record(segment_id).bitmap
+
+    def index_key(self, segment_id: str) -> Optional[str]:
+        """Object-store key of the segment's persisted vector index."""
+        return self._record(segment_id).index_key
+
+    def set_index_key(self, segment_id: str, key: str) -> None:
+        """Record where the segment's vector index was persisted."""
+        self._record(segment_id).index_key = key
+
+    def segments(self) -> List[Segment]:
+        """All visible segments in commit order."""
+        return [self._records[sid].segment for sid in self._commit_order]
+
+    def metas(self) -> List[SegmentMeta]:
+        """Metadata of all visible segments in commit order."""
+        return [self._records[sid].segment.meta for sid in self._commit_order]
+
+    def segment_ids(self) -> List[str]:
+        """Ids of visible segments in commit order."""
+        return list(self._commit_order)
+
+    def _record(self, segment_id: str) -> _SegmentRecord:
+        try:
+            return self._records[segment_id]
+        except KeyError:
+            raise SegmentError(f"segment {segment_id!r} is not visible") from None
+
+    # ------------------------------------------------------------------
+    # Row accounting
+    # ------------------------------------------------------------------
+    def mark_deleted(self, segment_id: str, offsets) -> int:
+        """Mark rows dead in one segment; returns newly deleted count."""
+        return self._record(segment_id).bitmap.mark_deleted(offsets)
+
+    def alive_rows(self) -> int:
+        """Visible (non-deleted) rows across all segments."""
+        return sum(record.bitmap.alive_count for record in self._records.values())
+
+    def total_rows(self) -> int:
+        """Physical rows including logically deleted ones."""
+        return sum(record.segment.row_count for record in self._records.values())
+
+    def deleted_rows(self) -> int:
+        """Logically deleted rows awaiting compaction."""
+        return self.total_rows() - self.alive_rows()
+
+    # ------------------------------------------------------------------
+    # Compaction support
+    # ------------------------------------------------------------------
+    def segments_by_level(self) -> Dict[int, List[Segment]]:
+        """Visible segments grouped by LSM level."""
+        by_level: Dict[int, List[Segment]] = {}
+        for sid in self._commit_order:
+            segment = self._records[sid].segment
+            by_level.setdefault(segment.meta.level, []).append(segment)
+        return by_level

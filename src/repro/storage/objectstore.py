@@ -1,0 +1,137 @@
+"""Simulated remote shared object storage (the S3/HDFS tier in Fig 1).
+
+The store is an in-process key → bytes map whose reads and writes charge
+the simulated clock with the object-store latency/bandwidth from the
+device cost model.  All virtual warehouses share one store, which is what
+makes workers stateless: any worker can reconstruct any segment or index
+from here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import ObjectNotFoundError
+from repro.simulate.clock import SimulatedClock
+from repro.simulate.costmodel import DeviceCostModel
+from repro.simulate.metrics import MetricRegistry
+
+
+class ObjectStore:
+    """Key-value blob store with simulated cloud-storage costs.
+
+    Parameters
+    ----------
+    clock:
+        Shared simulated clock to charge I/O time to.
+    cost_model:
+        Device constants; only the object-store entries are used here.
+    metrics:
+        Optional registry; records ``objectstore.get``/``put`` counters
+        and byte totals.
+    """
+
+    def __init__(
+        self,
+        clock: SimulatedClock,
+        cost_model: Optional[DeviceCostModel] = None,
+        metrics: Optional[MetricRegistry] = None,
+    ) -> None:
+        self._clock = clock
+        self._cost = cost_model or DeviceCostModel()
+        self._metrics = metrics or MetricRegistry()
+        self._blobs: Dict[str, bytes] = {}
+
+    @property
+    def clock(self) -> SimulatedClock:
+        """The clock this store charges to."""
+        return self._clock
+
+    @property
+    def cost_model(self) -> DeviceCostModel:
+        """The cost model in effect."""
+        return self._cost
+
+    def put(self, key: str, payload: bytes) -> float:
+        """Store ``payload`` under ``key``; returns the simulated write cost."""
+        if not key:
+            raise ValueError("object key must be non-empty")
+        cost = self._cost.object_store_write(len(payload))
+        self._clock.advance(cost)
+        self._blobs[key] = bytes(payload)
+        self._metrics.incr("objectstore.put")
+        self._metrics.incr("objectstore.put_bytes", len(payload))
+        return cost
+
+    def get(self, key: str) -> bytes:
+        """Fetch the blob under ``key``, charging read cost.
+
+        Raises
+        ------
+        ObjectNotFoundError
+            If the key was never stored or has been deleted.
+        """
+        try:
+            payload = self._blobs[key]
+        except KeyError:
+            raise ObjectNotFoundError(f"object not found: {key!r}") from None
+        self._clock.advance(self._cost.object_store_read(len(payload)))
+        self._metrics.incr("objectstore.get")
+        self._metrics.incr("objectstore.get_bytes", len(payload))
+        return payload
+
+    def get_range(self, key: str, offset: int, length: int) -> bytes:
+        """Ranged GET: fetch ``length`` bytes starting at ``offset``.
+
+        Models the reduced read granularity used to tame read
+        amplification (paper §IV-C): the latency is a full request but
+        bandwidth is only paid for the slice.
+        """
+        if offset < 0 or length < 0:
+            raise ValueError("offset and length must be non-negative")
+        try:
+            payload = self._blobs[key]
+        except KeyError:
+            raise ObjectNotFoundError(f"object not found: {key!r}") from None
+        window = payload[offset : offset + length]
+        self._clock.advance(self._cost.object_store_read(len(window)))
+        self._metrics.incr("objectstore.get_range")
+        self._metrics.incr("objectstore.get_bytes", len(window))
+        return window
+
+    def exists(self, key: str) -> bool:
+        """Whether ``key`` is present (metadata check, charged one latency)."""
+        self._clock.advance(self._cost.object_store_latency_s)
+        return key in self._blobs
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; returns whether it existed.  Charged one latency."""
+        self._clock.advance(self._cost.object_store_latency_s)
+        self._metrics.incr("objectstore.delete")
+        return self._blobs.pop(key, None) is not None
+
+    def size_of(self, key: str) -> int:
+        """Stored size in bytes of ``key`` without charging a read."""
+        try:
+            return len(self._blobs[key])
+        except KeyError:
+            raise ObjectNotFoundError(f"object not found: {key!r}") from None
+
+    def list_keys(self, prefix: str = "") -> List[str]:
+        """All keys with ``prefix``, sorted.  Charged one latency (LIST)."""
+        self._clock.advance(self._cost.object_store_latency_s)
+        return sorted(key for key in self._blobs if key.startswith(prefix))
+
+    def __contains__(self, key: str) -> bool:
+        # Free membership test for assertions; `exists` charges cost.
+        return key in self._blobs
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._blobs))
+
+    def total_bytes(self) -> int:
+        """Total stored payload bytes (accounting, not charged)."""
+        return sum(len(blob) for blob in self._blobs.values())

@@ -1,0 +1,55 @@
+"""From-scratch pluggable vector index library.
+
+Implements the paper's "virtual vector index" abstraction (Fig 5): a
+storage-layer interface (``create``/``train``/``add_with_ids``/``save``/
+``load``) and an execution-layer interface (``search_with_filter``/
+``search_with_range``/``search_iterator``) that every index type
+implements, so the engine treats index algorithms as black boxes.
+
+Index types (paper Table I / §III-A):
+
+========== ==========================================================
+``FLAT``       exact brute force
+``IVFFLAT``    inverted file over k-means cells, exact residual scan
+``IVFPQ``      inverted file + 8-bit product quantization, ADC scan
+``IVFPQFS``    4-bit fast-scan product quantization with optional refine
+``HNSW``       hierarchical navigable small world graph
+``HNSWSQ``     HNSW over 8-bit scalar-quantized vectors
+``DISKANN``    Vamana graph resident on (simulated) disk, beam search
+========== ==========================================================
+"""
+
+from repro.vindex.api import (
+    SearchResult,
+    VectorIndex,
+    pairwise_distance,
+)
+from repro.vindex.autoindex import select_ivf_nlist
+from repro.vindex.flat import FlatIndex
+from repro.vindex.hnsw import HNSWIndex
+from repro.vindex.hnswsq import HNSWSQIndex
+from repro.vindex.ivf import IVFFlatIndex
+from repro.vindex.ivfpq import IVFPQFastScanIndex, IVFPQIndex
+from repro.vindex.diskann import DiskANNIndex
+from repro.vindex.iterator import GenericRestartIterator, SearchIterator
+from repro.vindex.registry import IndexSpec, create_index, deserialize_index, registered_types
+
+__all__ = [
+    "DiskANNIndex",
+    "FlatIndex",
+    "GenericRestartIterator",
+    "HNSWIndex",
+    "HNSWSQIndex",
+    "IVFFlatIndex",
+    "IVFPQFastScanIndex",
+    "IVFPQIndex",
+    "IndexSpec",
+    "SearchIterator",
+    "SearchResult",
+    "VectorIndex",
+    "create_index",
+    "deserialize_index",
+    "pairwise_distance",
+    "registered_types",
+    "select_ivf_nlist",
+]

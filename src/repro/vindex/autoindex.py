@@ -1,0 +1,104 @@
+"""Auto index: rule-based build-parameter selection (paper §III-B, Fig 7).
+
+The paper finds that for IVF-family indexes the cell count ``K_IVF`` must
+track the segment size ``N``: too few cells make each probe scan huge
+posting lists; too many cells starve k-means of training points and push
+probe overhead up.  LSM segments vary wildly in size (L0 flushes are
+small, compacted segments are large), so BlendHouse selects parameters
+per segment at build time.
+
+The rule follows the faiss guideline ``K ≈ c·sqrt(N)`` with two clamps:
+
+* at least :data:`MIN_TRAIN_POINTS_PER_CENTROID` training points per
+  centroid so k-means remains well-posed, and
+* within ``[MIN_NLIST, MAX_NLIST]``.
+
+Data ingestion uses this quick rule; background compaction may refine the
+choice by measuring (``tune_nlist_by_probe``), mirroring the paper's
+rule-based-then-auto-tuned split.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.vindex.registry import IndexSpec, create_index
+
+SQRT_COEFFICIENT = 4.0
+MIN_TRAIN_POINTS_PER_CENTROID = 39   # faiss's documented minimum
+MIN_NLIST = 1
+MAX_NLIST = 65536
+
+
+def select_ivf_nlist(n_rows: int, coefficient: float = SQRT_COEFFICIENT) -> int:
+    """Rule-based ``K_IVF`` for a segment of ``n_rows`` vectors."""
+    if n_rows <= 0:
+        return MIN_NLIST
+    by_sqrt = int(coefficient * math.sqrt(n_rows))
+    by_training = n_rows // MIN_TRAIN_POINTS_PER_CENTROID
+    return max(MIN_NLIST, min(by_sqrt, max(by_training, MIN_NLIST), MAX_NLIST))
+
+
+def select_nprobe(nlist: int, target_beta: float = 0.1) -> int:
+    """Probe count hitting roughly ``target_beta`` of the data per query."""
+    if not 0 < target_beta <= 1:
+        raise ValueError(f"target_beta must be in (0, 1], got {target_beta}")
+    return max(1, min(nlist, int(round(nlist * target_beta))))
+
+
+def auto_build_spec(spec: IndexSpec, n_rows: int) -> IndexSpec:
+    """Apply the rule table to a spec for a segment of ``n_rows`` rows.
+
+    Only IVF-family parameters are auto-selected; graph indexes keep
+    their declared ``M``/``ef_construction`` (the paper's finding is
+    specific to the IVF family).  Explicit user-provided ``nlist`` wins
+    over the rule.
+    """
+    if spec.index_type not in ("IVFFLAT", "IVFPQ", "IVFPQFS"):
+        return spec
+    if "nlist" in spec.params:
+        return spec
+    return spec.with_params(nlist=select_ivf_nlist(n_rows))
+
+
+def tune_nlist_by_probe(
+    vectors: np.ndarray,
+    candidates: Iterable[int],
+    queries: np.ndarray,
+    k: int = 10,
+    nprobe_beta: float = 0.1,
+    spec_template: Optional[IndexSpec] = None,
+) -> Tuple[int, Dict[int, float]]:
+    """Measure-and-pick auto-tuning used by background compaction.
+
+    Builds a small IVFFLAT per candidate ``nlist``, times ``queries``
+    against each, and returns the fastest candidate plus the full
+    timing table.  This is the "auto-tuning tools" half of the paper's
+    auto index: slower than the rule, run off the ingest path.
+    """
+    vectors = np.asarray(vectors, dtype=np.float32)
+    queries = np.asarray(queries, dtype=np.float32)
+    timings: Dict[int, float] = {}
+    dim = vectors.shape[1]
+    for nlist in candidates:
+        if nlist <= 0 or nlist > vectors.shape[0]:
+            continue
+        template_params: Dict[str, Any] = dict(spec_template.params) if spec_template else {}
+        template_params["nlist"] = int(nlist)
+        spec = IndexSpec(index_type="IVFFLAT", dim=dim, params=template_params)
+        index = create_index(spec)
+        index.train(vectors)
+        index.add_with_ids(vectors, np.arange(vectors.shape[0]))
+        nprobe = select_nprobe(int(nlist), nprobe_beta)
+        start = time.perf_counter()
+        for query in queries:
+            index.search_with_filter(query, k, nprobe=nprobe)
+        timings[int(nlist)] = time.perf_counter() - start
+    if not timings:
+        raise ValueError("no valid nlist candidates to tune over")
+    best = min(timings, key=lambda key: timings[key])
+    return best, timings

@@ -1,0 +1,461 @@
+"""HNSW: hierarchical navigable small world graph, from scratch.
+
+Implements Malkov & Yashunin's algorithm: nodes get geometric random
+levels, upper layers are sparse navigation graphs, layer 0 holds the full
+neighborhood structure.  Insertion uses beam search with
+``ef_construction`` plus the *heuristic* neighbor selection rule
+(Algorithm 4 of the paper); queries use beam search with ``ef_search``.
+
+Two extensions the BlendHouse paper relies on:
+
+* **Filtered search** — the bitset is consulted when collecting results
+  but traversal may pass through filtered-out nodes (hnswlib semantics),
+  which is what makes the pre-filter bitset scan generic.
+* **Native incremental iterator** — BlendHouse "extend[s] the hnswlib
+  library to enable iterative-based search": :meth:`HNSWIndex.search_iterator`
+  keeps the layer-0 beam state alive and streams results in distance
+  order without restarting, unlike the generic restart wrapper.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import IndexParameterError
+from repro.vindex.api import SearchResult, VectorIndex, pairwise_distance
+from repro.vindex.iterator import SearchIterator
+
+DEFAULT_M = 16
+DEFAULT_EF_CONSTRUCTION = 100
+DEFAULT_EF_SEARCH = 64
+
+
+class HNSWIndex(VectorIndex):
+    """Graph index with logarithmic layered routing.
+
+    Parameters
+    ----------
+    m:
+        Max neighbors per node on upper layers (layer 0 allows ``2 * m``).
+    ef_construction:
+        Beam width while inserting; larger builds better graphs, slower.
+    """
+
+    index_type = "HNSW"
+    requires_training = False
+    supports_native_iterator = True
+
+    def __init__(
+        self,
+        dim: int,
+        metric: str = "l2",
+        m: int = DEFAULT_M,
+        ef_construction: int = DEFAULT_EF_CONSTRUCTION,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(dim, metric)
+        if m < 2:
+            raise IndexParameterError(f"m must be at least 2, got {m}")
+        if ef_construction < 1:
+            raise IndexParameterError("ef_construction must be positive")
+        self.m = m
+        self.m_max0 = 2 * m
+        self.ef_construction = ef_construction
+        self.seed = seed
+        self._level_mult = 1.0 / math.log(m)
+        self._rng = np.random.default_rng(seed)
+        self._vectors = np.empty((0, dim), dtype=np.float32)
+        self._ids = np.empty(0, dtype=np.int64)
+        # _links[node][level] -> list of neighbor node indices.
+        self._links: List[List[List[int]]] = []
+        self._entry_point = -1
+        self._max_level = -1
+
+    # ------------------------------------------------------------------
+    # Basic state
+    # ------------------------------------------------------------------
+    @property
+    def ntotal(self) -> int:
+        return int(self._vectors.shape[0])
+
+    def _vector_store(self) -> np.ndarray:
+        """Vectors used for distance computation (hook for SQ subclass)."""
+        return self._vectors
+
+    def _distance(self, query: np.ndarray, nodes: List[int]) -> np.ndarray:
+        """Internal *comparison* distance: squared L2 (monotone in true L2)
+        to avoid per-call sqrt; other metrics use their native form."""
+        store = self._vector_store()
+        if self.metric == "l2":
+            sub = store[nodes]
+            diff = sub - query
+            return np.einsum("ij,ij->i", diff, diff)
+        return pairwise_distance(query, store[nodes], self.metric)
+
+    def _to_external(self, internal: np.ndarray) -> np.ndarray:
+        """Convert internal comparison distances to API distances."""
+        if self.metric == "l2":
+            return np.sqrt(np.maximum(internal, 0.0))
+        return np.asarray(internal, dtype=np.float64)
+
+    def _random_level(self) -> int:
+        uniform = float(self._rng.random())
+        # Guard the log against an exactly-zero draw.
+        return int(-math.log(max(uniform, 1e-12)) * self._level_mult)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_with_ids(self, vectors: np.ndarray, ids: np.ndarray) -> None:
+        vectors = self._check_vectors(vectors)
+        ids = np.asarray(ids, dtype=np.int64).reshape(-1)
+        if ids.shape[0] != vectors.shape[0]:
+            raise IndexParameterError(
+                f"{ids.shape[0]} ids for {vectors.shape[0]} vectors"
+            )
+        start = self.ntotal
+        self._vectors = np.vstack([self._vectors, vectors])
+        self._ids = np.concatenate([self._ids, ids])
+        for offset in range(vectors.shape[0]):
+            self._insert(start + offset)
+
+    def _insert(self, node: int) -> None:
+        level = self._random_level()
+        self._links.append([[] for _ in range(level + 1)])
+        if self._entry_point < 0:
+            self._entry_point = node
+            self._max_level = level
+            return
+
+        query = self._vectors[node]
+        current = self._entry_point
+        # Greedy descent through layers above the node's level.
+        for layer in range(self._max_level, level, -1):
+            current = self._greedy_closest(query, current, layer)
+        # Beam search + heuristic link selection on each layer <= level.
+        for layer in range(min(level, self._max_level), -1, -1):
+            candidates = self._search_layer(query, [current], layer, self.ef_construction)
+            m_max = self.m_max0 if layer == 0 else self.m
+            neighbors = self._select_heuristic(query, candidates, self.m)
+            self._links[node][layer] = [idx for _, idx in neighbors]
+            for _, neighbor in neighbors:
+                links = self._links[neighbor][layer]
+                links.append(node)
+                if len(links) > m_max:
+                    self._shrink_links(neighbor, layer, m_max)
+            if candidates:
+                current = candidates[0][1]
+        if level > self._max_level:
+            self._max_level = level
+            self._entry_point = node
+
+    def _shrink_links(self, node: int, layer: int, m_max: int) -> None:
+        """Re-apply heuristic selection when a node's links overflow."""
+        links = self._links[node][layer]
+        dists = self._distance(self._vectors[node], links)
+        candidates = sorted(zip(dists.tolist(), links))
+        kept = self._select_heuristic(self._vectors[node], candidates, m_max)
+        self._links[node][layer] = [idx for _, idx in kept]
+
+    def _select_heuristic(
+        self,
+        query: np.ndarray,
+        candidates: List[Tuple[float, int]],
+        m: int,
+    ) -> List[Tuple[float, int]]:
+        """Algorithm 4: keep candidates closer to the query than to any
+        already-selected neighbor, which preserves graph diversity.
+
+        The candidate-to-candidate distance matrix is computed once so
+        the greedy loop runs over precomputed values.
+        """
+        ordered = sorted(candidates)
+        if len(ordered) <= m:
+            return ordered
+        nodes = [idx for _, idx in ordered]
+        store = self._vector_store()
+        sub = store[nodes]
+        if self.metric == "l2":
+            norms = np.einsum("ij,ij->i", sub, sub)
+            cross = sub @ sub.T
+            pairwise = norms[:, None] - 2.0 * cross + norms[None, :]
+        else:
+            pairwise = np.stack(
+                [pairwise_distance(sub[i], sub, self.metric) for i in range(len(nodes))]
+            )
+        # min_to_selected[row] tracks each candidate's distance to the
+        # nearest already-selected neighbor, updated incrementally so the
+        # greedy loop is O(1) per candidate.
+        min_to_selected = np.full(len(ordered), np.inf)
+        chosen_rows: List[int] = []
+        selected: List[Tuple[float, int]] = []
+        for row, (dist, node) in enumerate(ordered):
+            if len(selected) >= m:
+                break
+            if dist <= min_to_selected[row]:
+                chosen_rows.append(row)
+                selected.append((dist, node))
+                np.minimum(min_to_selected, pairwise[row], out=min_to_selected)
+        # Fill remaining slots with nearest rejected candidates (hnswlib
+        # behaviour keeps connectivity on clustered data).
+        if len(selected) < m:
+            chosen = set(chosen_rows)
+            for row, (dist, node) in enumerate(ordered):
+                if len(selected) >= m:
+                    break
+                if row not in chosen:
+                    selected.append((dist, node))
+                    chosen.add(row)
+        return selected
+
+    # ------------------------------------------------------------------
+    # Traversal primitives
+    # ------------------------------------------------------------------
+    def _greedy_closest(self, query: np.ndarray, start: int, layer: int) -> int:
+        current = start
+        current_dist = float(self._distance(query, [current])[0])
+        improved = True
+        while improved:
+            improved = False
+            links = self._links[current][layer] if layer < len(self._links[current]) else []
+            if not links:
+                break
+            dists = self._distance(query, links)
+            best = int(np.argmin(dists))
+            if float(dists[best]) < current_dist:
+                current = links[best]
+                current_dist = float(dists[best])
+                improved = True
+        return current
+
+    def _search_layer(
+        self,
+        query: np.ndarray,
+        entry_points: List[int],
+        layer: int,
+        ef: int,
+        visited: Optional[Set[int]] = None,
+    ) -> List[Tuple[float, int]]:
+        """Beam search on one layer; returns (distance, node) ascending."""
+        if visited is None:
+            visited = set()
+        results: List[Tuple[float, int]] = []  # max-heap via negated dist
+        candidates: List[Tuple[float, int]] = []
+        for point in entry_points:
+            if point in visited:
+                continue
+            visited.add(point)
+            dist = float(self._distance(query, [point])[0])
+            heapq.heappush(candidates, (dist, point))
+            heapq.heappush(results, (-dist, point))
+        while candidates:
+            dist, node = heapq.heappop(candidates)
+            if results and dist > -results[0][0] and len(results) >= ef:
+                break
+            links = self._links[node][layer] if layer < len(self._links[node]) else []
+            fresh = [n for n in links if n not in visited]
+            if not fresh:
+                continue
+            visited.update(fresh)
+            dists = self._distance(query, fresh)
+            worst = -results[0][0] if results else math.inf
+            for neighbor_dist, neighbor in zip(dists.tolist(), fresh):
+                if len(results) < ef or neighbor_dist < worst:
+                    heapq.heappush(candidates, (neighbor_dist, neighbor))
+                    heapq.heappush(results, (-neighbor_dist, neighbor))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+                    worst = -results[0][0]
+        return sorted((-negdist, node) for negdist, node in results)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def search_with_filter(
+        self,
+        query: np.ndarray,
+        k: int,
+        bitset: Optional[np.ndarray] = None,
+        ef_search: int = DEFAULT_EF_SEARCH,
+        **search_params: Any,
+    ) -> SearchResult:
+        query = self._check_query(query)
+        bitset = self._check_bitset(bitset, self.ntotal)
+        if self.ntotal == 0 or k <= 0 or self._entry_point < 0:
+            return SearchResult.empty()
+        ef = max(int(ef_search), k)
+        current = self._entry_point
+        for layer in range(self._max_level, 0, -1):
+            current = self._greedy_closest(query, current, layer)
+        visited: Set[int] = set()
+        candidates = self._search_layer(query, [current], 0, ef, visited=visited)
+        if bitset is not None:
+            # Filtered collection: traversal saw `candidates`; keep only
+            # allowed rows, widening the beam if too few survive.
+            allowed = [(d, n) for d, n in candidates if bitset[self._ids[n]]]
+            while len(allowed) < k and ef < self.ntotal:
+                ef = min(ef * 2, self.ntotal)
+                visited = set()
+                candidates = self._search_layer(query, [current], 0, ef, visited=visited)
+                allowed = [(d, n) for d, n in candidates if bitset[self._ids[n]]]
+                if ef >= self.ntotal:
+                    break
+            candidates = allowed
+        top = candidates[:k]
+        ids = np.array([self._ids[node] for _, node in top], dtype=np.int64)
+        distances = self._to_external(np.array([dist for dist, _ in top], dtype=np.float64))
+        return SearchResult(ids, distances, visited=len(visited) or len(candidates))
+
+    def search_iterator(
+        self,
+        query: np.ndarray,
+        bitset: Optional[np.ndarray] = None,
+        batch_size: int = 64,
+        ef_search: int = DEFAULT_EF_SEARCH,
+        **search_params: Any,
+    ) -> "HNSWSearchIterator":
+        """Native incremental iterator: keeps the beam alive across batches."""
+        query = self._check_query(query)
+        bitset = self._check_bitset(bitset, self.ntotal)
+        return HNSWSearchIterator(self, query, bitset, batch_size, max(ef_search, batch_size))
+
+    # ------------------------------------------------------------------
+    # Persistence / accounting
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        vectors = int(self._vectors.nbytes)
+        ids = int(self._ids.nbytes)
+        links = sum(
+            8 * len(layer) + 16 for node in self._links for layer in node
+        )
+        return vectors + ids + links
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "index_type": self.index_type,
+            "dim": self.dim,
+            "metric": self.metric,
+            "m": self.m,
+            "ef_construction": self.ef_construction,
+            "seed": self.seed,
+            "vectors": self._vectors,
+            "ids": self._ids,
+            "links": self._links,
+            "entry_point": self._entry_point,
+            "max_level": self._max_level,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "HNSWIndex":
+        index = cls(
+            payload["dim"],
+            payload["metric"],
+            m=payload["m"],
+            ef_construction=payload["ef_construction"],
+            seed=payload["seed"],
+        )
+        index._vectors = np.asarray(payload["vectors"], dtype=np.float32)
+        index._ids = np.asarray(payload["ids"], dtype=np.int64)
+        index._links = payload["links"]
+        index._entry_point = payload["entry_point"]
+        index._max_level = payload["max_level"]
+        return index
+
+
+class HNSWSearchIterator(SearchIterator):
+    """Incremental distance-ordered stream backed by a live HNSW beam.
+
+    Each :meth:`next_batch` resumes the layer-0 expansion from the kept
+    candidate heap instead of restarting the search, so iterating to
+    depth ``d`` costs roughly one search to depth ``d`` — not the
+    ``d + d/2 + ...`` of the restart wrapper.
+    """
+
+    def __init__(
+        self,
+        index: HNSWIndex,
+        query: np.ndarray,
+        bitset: Optional[np.ndarray],
+        batch_size: int,
+        ef: int,
+    ) -> None:
+        if batch_size <= 0:
+            raise IndexParameterError("batch_size must be positive")
+        self._index = index
+        self._query = query
+        self._bitset = bitset
+        self._batch_size = batch_size
+        self._ef = ef
+        self._visited: Set[int] = set()
+        self._candidates: List[Tuple[float, int]] = []  # frontier min-heap
+        self._pool: List[Tuple[float, int]] = []        # settled, not yet emitted
+        self._graph_exhausted = index.ntotal == 0 or index._entry_point < 0
+        self.visited_total = 0
+        if not self._graph_exhausted:
+            current = index._entry_point
+            for layer in range(index._max_level, 0, -1):
+                current = index._greedy_closest(query, current, layer)
+            dist = float(index._distance(query, [current])[0])
+            self._visited.add(current)
+            self.visited_total += 1
+            heapq.heappush(self._candidates, (dist, current))
+
+    @property
+    def exhausted(self) -> bool:
+        return self._graph_exhausted and not self._pool
+
+    def _expand_one(self) -> None:
+        """Pop the nearest frontier node, settle it, and grow the frontier."""
+        index = self._index
+        dist, node = heapq.heappop(self._candidates)
+        external = int(index._ids[node])
+        if self._bitset is None or self._bitset[external]:
+            heapq.heappush(self._pool, (dist, node))
+        links = index._links[node][0] if index._links[node] else []
+        fresh = [n for n in links if n not in self._visited]
+        if fresh:
+            self._visited.update(fresh)
+            self.visited_total += len(fresh)
+            dists = index._distance(self._query, fresh)
+            for neighbor_dist, neighbor in zip(dists.tolist(), fresh):
+                heapq.heappush(self._candidates, (neighbor_dist, neighbor))
+        if not self._candidates:
+            self._graph_exhausted = True
+
+    def next_batch(self) -> SearchResult:
+        """Return up to ``batch_size`` more rows in ascending distance.
+
+        The frontier is expanded until the pool holds ``ef`` settled
+        candidates (quality slack on top of the batch size), then the
+        nearest ``batch_size`` are emitted.  A pooled entry is only
+        emitted once the nearest frontier node is farther than it, so
+        within-run ordering matches a one-shot search of the same depth.
+        """
+        want = max(self._batch_size, 1)
+        slack = max(self._ef, want)
+        while not self._graph_exhausted and len(self._pool) < want + slack:
+            # Stop early once the frontier cannot improve on what we hold.
+            if (
+                len(self._pool) >= want
+                and self._candidates
+                and self._candidates[0][0] > self._pool[0][0]
+                and len(self._pool) >= slack
+            ):
+                break
+            self._expand_one()
+        index = self._index
+        out_ids: List[int] = []
+        out_dists: List[float] = []
+        while self._pool and len(out_ids) < want:
+            dist, node = heapq.heappop(self._pool)
+            out_ids.append(int(index._ids[node]))
+            out_dists.append(dist)
+        return SearchResult(
+            np.asarray(out_ids, dtype=np.int64),
+            index._to_external(np.asarray(out_dists, dtype=np.float64)),
+            visited=self.visited_total,
+        )

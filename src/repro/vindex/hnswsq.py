@@ -1,0 +1,126 @@
+"""HNSWSQ: HNSW over 8-bit scalar-quantized vectors.
+
+Each dimension is affinely mapped to uint8 using per-dimension min/max
+learned at train time (or lazily from the first added batch).  The graph
+is built and searched over the *quantized* values, so the recall drop
+versus full-precision HNSW is real — the trade the paper's Table VI /
+Fig 13 exercise (≈4× smaller index, slightly lower recall ceiling).
+
+Substrate note: real SQ kernels compute distances directly on uint8; the
+numpy substrate keeps a transient float32 decode for vectorized distance
+calls, but :meth:`memory_bytes` reports the quantized footprint, which is
+what Table VI measures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.errors import IndexParameterError
+from repro.vindex.hnsw import DEFAULT_EF_CONSTRUCTION, DEFAULT_M, HNSWIndex
+
+
+class HNSWSQIndex(HNSWIndex):
+    """Scalar-quantized HNSW (faiss ``HNSW,SQ8`` analogue)."""
+
+    index_type = "HNSWSQ"
+    requires_training = False
+    supports_native_iterator = True
+
+    def __init__(
+        self,
+        dim: int,
+        metric: str = "l2",
+        m: int = DEFAULT_M,
+        ef_construction: int = DEFAULT_EF_CONSTRUCTION,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(dim, metric, m=m, ef_construction=ef_construction, seed=seed)
+        self._vmin: Optional[np.ndarray] = None
+        self._vscale: Optional[np.ndarray] = None
+        self._codes = np.empty((0, dim), dtype=np.uint8)
+
+    # ------------------------------------------------------------------
+    # Quantization
+    # ------------------------------------------------------------------
+    def train(self, vectors: np.ndarray) -> None:
+        """Learn per-dimension quantization ranges."""
+        vectors = self._check_vectors(vectors)
+        if vectors.shape[0] == 0:
+            raise IndexParameterError("cannot train SQ ranges on zero vectors")
+        vmin = vectors.min(axis=0)
+        vmax = vectors.max(axis=0)
+        span = vmax - vmin
+        span[span == 0] = 1.0
+        self._vmin = vmin.astype(np.float32)
+        self._vscale = (span / 255.0).astype(np.float32)
+        self.stats.train_points = int(vectors.shape[0])
+
+    @property
+    def is_trained(self) -> bool:
+        return self._vmin is not None
+
+    def _encode(self, vectors: np.ndarray) -> np.ndarray:
+        assert self._vmin is not None and self._vscale is not None
+        scaled = (vectors - self._vmin) / self._vscale
+        return np.clip(np.rint(scaled), 0, 255).astype(np.uint8)
+
+    def _decode(self, codes: np.ndarray) -> np.ndarray:
+        assert self._vmin is not None and self._vscale is not None
+        return codes.astype(np.float32) * self._vscale + self._vmin
+
+    # ------------------------------------------------------------------
+    # Overrides
+    # ------------------------------------------------------------------
+    def add_with_ids(self, vectors: np.ndarray, ids: np.ndarray) -> None:
+        vectors = self._check_vectors(vectors)
+        if self._vmin is None:
+            # Lazy range learning keeps the uniform no-training call path.
+            self.train(vectors)
+        codes = self._encode(vectors)
+        self._codes = np.vstack([self._codes, codes])
+        # The parent builds the graph over whatever `_vector_store` returns;
+        # feed it the decoded (lossy) vectors so search sees SQ error.
+        super().add_with_ids(self._decode(codes), ids)
+
+    def memory_bytes(self) -> int:
+        codes = int(self._codes.nbytes)
+        ids = int(self._ids.nbytes)
+        ranges = 0
+        if self._vmin is not None and self._vscale is not None:
+            ranges = int(self._vmin.nbytes + self._vscale.nbytes)
+        links = sum(8 * len(layer) + 16 for node in self._links for layer in node)
+        return codes + ids + ranges + links
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload = super().to_payload()
+        payload.update(
+            {
+                "index_type": self.index_type,
+                "vmin": self._vmin,
+                "vscale": self._vscale,
+                "codes": self._codes,
+            }
+        )
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "HNSWSQIndex":
+        index = cls(
+            payload["dim"],
+            payload["metric"],
+            m=payload["m"],
+            ef_construction=payload["ef_construction"],
+            seed=payload["seed"],
+        )
+        index._vectors = np.asarray(payload["vectors"], dtype=np.float32)
+        index._ids = np.asarray(payload["ids"], dtype=np.int64)
+        index._links = payload["links"]
+        index._entry_point = payload["entry_point"]
+        index._max_level = payload["max_level"]
+        index._vmin = payload["vmin"]
+        index._vscale = payload["vscale"]
+        index._codes = np.asarray(payload["codes"], dtype=np.uint8)
+        return index

@@ -1,0 +1,122 @@
+"""Search iterators for the post-filter strategy (paper §III-B).
+
+Two implementations exist:
+
+* Native iterators — HNSW keeps its beam alive across batches
+  (:class:`repro.vindex.hnsw.HNSWSearchIterator`), the extension the
+  paper added to hnswlib.
+* :class:`GenericRestartIterator` — the generic wrapper (as used by
+  SingleStore-V) for index types without incremental search: each time
+  more rows are needed it *restarts* the top-k search from scratch with a
+  doubled ``k``.  Repeated runs return identical prefixes for the same
+  ``k``, so already-emitted rows are skipped; the redundant search work
+  is the overhead the native iterator avoids.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.errors import IndexParameterError
+from repro.vindex.api import SearchResult
+
+
+class SearchIterator(abc.ABC):
+    """Incremental, approximately distance-ordered result stream."""
+
+    @property
+    @abc.abstractmethod
+    def exhausted(self) -> bool:
+        """True once no further rows can be produced."""
+
+    @abc.abstractmethod
+    def next_batch(self) -> SearchResult:
+        """Up to ``batch_size`` more rows; empty result when exhausted."""
+
+    def __iter__(self):
+        while not self.exhausted:
+            batch = self.next_batch()
+            if len(batch) == 0:
+                break
+            yield batch
+
+
+class GenericRestartIterator(SearchIterator):
+    """Restart-with-doubled-k wrapper over any index's top-k search.
+
+    Parameters
+    ----------
+    index:
+        Any :class:`repro.vindex.api.VectorIndex`.
+    query:
+        The query vector.
+    bitset:
+        Optional allowed-rows bitset forwarded to the underlying search.
+    batch_size:
+        Rows returned per :meth:`next_batch`.
+    initial_k:
+        First search depth; defaults to ``batch_size``.
+    """
+
+    def __init__(
+        self,
+        index: Any,
+        query: np.ndarray,
+        bitset: Optional[np.ndarray] = None,
+        batch_size: int = 64,
+        initial_k: Optional[int] = None,
+        **search_params: Any,
+    ) -> None:
+        if batch_size <= 0:
+            raise IndexParameterError("batch_size must be positive")
+        self._index = index
+        self._query = np.asarray(query, dtype=np.float32)
+        self._bitset = bitset
+        self._batch_size = batch_size
+        self._search_params = search_params
+        self._emitted = 0                      # rows already handed out
+        self._current_k = max(initial_k or batch_size, 1)
+        self._last: Optional[SearchResult] = None
+        self._done = index.ntotal == 0
+        self.restarts = 0                      # how many from-scratch searches ran
+        self.visited_total = 0                 # cumulative candidate visits (incl. redundant)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._done
+
+    def _run_search(self, k: int) -> SearchResult:
+        self.restarts += 1
+        result = self._index.search_with_filter(
+            self._query, k, bitset=self._bitset, **self._search_params
+        )
+        self.visited_total += result.visited
+        return result
+
+    def next_batch(self) -> SearchResult:
+        """Produce the next ``batch_size`` rows, restarting with larger k
+        whenever the previous search did not reach deep enough."""
+        if self._done:
+            return SearchResult.empty(visited=self.visited_total)
+        need = self._emitted + self._batch_size
+        if self._last is None or (len(self._last) < need and len(self._last) >= self._current_k):
+            # Previous search saturated its k: double until deep enough.
+            while self._current_k < need:
+                self._current_k *= 2
+            self._last = self._run_search(self._current_k)
+        elif self._last is None or len(self._last) < need:
+            # Previous search returned fewer than k rows → index exhausted
+            # (or the bitset admits that few); no restart can find more.
+            pass
+        window = self._last
+        batch_ids = window.ids[self._emitted : self._emitted + self._batch_size]
+        batch_dists = window.distances[self._emitted : self._emitted + self._batch_size]
+        self._emitted += len(batch_ids)
+        if len(window) < self._current_k and self._emitted >= len(window):
+            self._done = True
+        elif self._emitted >= self._index.ntotal:
+            self._done = True
+        return SearchResult(batch_ids, batch_dists, visited=self.visited_total)

@@ -1,0 +1,164 @@
+"""IVF_FLAT: inverted file over k-means cells with exact in-cell scan.
+
+Training clusters the data into ``nlist`` cells; each vector is posted to
+its nearest cell.  A search probes the ``nprobe`` nearest cells and
+computes exact distances within them.  ``nprobe / nlist`` is the paper's
+``β`` (proportion of tuples visited by the ANN scan, Table II).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import IndexNotTrainedError, IndexParameterError
+from repro.vindex.api import SearchResult, VectorIndex, pairwise_distance, top_k_from_distances
+from repro.vindex.kmeans import assign_to_centroids, kmeans
+
+DEFAULT_NLIST = 64
+DEFAULT_NPROBE = 8
+
+
+class IVFFlatIndex(VectorIndex):
+    """Inverted-file index storing exact vectors per cell.
+
+    Parameters
+    ----------
+    nlist:
+        Number of k-means cells (the paper's ``K_IVF``).
+    seed:
+        Training determinism.
+    """
+
+    index_type = "IVFFLAT"
+    requires_training = True
+
+    def __init__(
+        self, dim: int, metric: str = "l2", nlist: int = DEFAULT_NLIST, seed: int = 0
+    ) -> None:
+        super().__init__(dim, metric)
+        if nlist <= 0:
+            raise IndexParameterError(f"nlist must be positive, got {nlist}")
+        self.nlist = nlist
+        self.seed = seed
+        self._centroids: Optional[np.ndarray] = None
+        self._cell_vectors: List[np.ndarray] = []
+        self._cell_ids: List[np.ndarray] = []
+        self._ntotal = 0
+
+    @property
+    def ntotal(self) -> int:
+        return self._ntotal
+
+    @property
+    def is_trained(self) -> bool:
+        return self._centroids is not None
+
+    def train(self, vectors: np.ndarray) -> None:
+        vectors = self._check_vectors(vectors)
+        if vectors.shape[0] < self.nlist:
+            # Fall back to fewer cells rather than refusing tiny segments;
+            # per-segment indexing routinely sees small L0 segments.
+            self.nlist = max(1, vectors.shape[0])
+        result = kmeans(vectors, self.nlist, seed=self.seed)
+        self._centroids = result.centroids
+        self._cell_vectors = [np.empty((0, self.dim), dtype=np.float32) for _ in range(self.nlist)]
+        self._cell_ids = [np.empty(0, dtype=np.int64) for _ in range(self.nlist)]
+        self.stats.train_points = int(vectors.shape[0])
+
+    def add_with_ids(self, vectors: np.ndarray, ids: np.ndarray) -> None:
+        if self._centroids is None:
+            raise IndexNotTrainedError("IVFFLAT requires train() before add_with_ids()")
+        vectors = self._check_vectors(vectors)
+        ids = np.asarray(ids, dtype=np.int64).reshape(-1)
+        if ids.shape[0] != vectors.shape[0]:
+            raise IndexParameterError(
+                f"{ids.shape[0]} ids for {vectors.shape[0]} vectors"
+            )
+        cells = assign_to_centroids(vectors, self._centroids)
+        for cell in np.unique(cells):
+            members = cells == cell
+            self._cell_vectors[cell] = np.vstack(
+                [self._cell_vectors[cell], vectors[members]]
+            )
+            self._cell_ids[cell] = np.concatenate(
+                [self._cell_ids[cell], ids[members]]
+            )
+        self._ntotal += int(vectors.shape[0])
+
+    def _probe_order(self, query: np.ndarray) -> np.ndarray:
+        """Cell indices sorted by centroid distance to the query."""
+        assert self._centroids is not None
+        centroid_dist = pairwise_distance(query, self._centroids, "l2")
+        return np.argsort(centroid_dist, kind="stable")
+
+    def search_with_filter(
+        self,
+        query: np.ndarray,
+        k: int,
+        bitset: Optional[np.ndarray] = None,
+        nprobe: int = DEFAULT_NPROBE,
+        **search_params: Any,
+    ) -> SearchResult:
+        self._require_trained()
+        query = self._check_query(query)
+        if self.ntotal == 0 or k <= 0:
+            return SearchResult.empty()
+        nprobe = max(1, min(int(nprobe), self.nlist))
+        probe = self._probe_order(query)[:nprobe]
+
+        gathered_ids: List[np.ndarray] = []
+        gathered_dist: List[np.ndarray] = []
+        visited = 0
+        for cell in probe:
+            ids = self._cell_ids[cell]
+            if ids.size == 0:
+                continue
+            vectors = self._cell_vectors[cell]
+            if bitset is not None:
+                allowed = bitset[ids]
+                visited += int(ids.size)  # bitmap test touches every posting
+                if not allowed.any():
+                    continue
+                ids = ids[allowed]
+                vectors = vectors[allowed]
+            else:
+                visited += int(ids.size)
+            gathered_ids.append(ids)
+            gathered_dist.append(pairwise_distance(query, vectors, self.metric))
+        if not gathered_ids:
+            return SearchResult.empty(visited=visited)
+        all_ids = np.concatenate(gathered_ids)
+        all_dist = np.concatenate(gathered_dist)
+        return top_k_from_distances(all_ids, all_dist, k, visited=visited)
+
+    def memory_bytes(self) -> int:
+        total = 0 if self._centroids is None else int(self._centroids.nbytes)
+        total += sum(int(v.nbytes) for v in self._cell_vectors)
+        total += sum(int(i.nbytes) for i in self._cell_ids)
+        return total
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "index_type": self.index_type,
+            "dim": self.dim,
+            "metric": self.metric,
+            "nlist": self.nlist,
+            "seed": self.seed,
+            "centroids": self._centroids,
+            "cell_vectors": self._cell_vectors,
+            "cell_ids": self._cell_ids,
+            "ntotal": self._ntotal,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "IVFFlatIndex":
+        index = cls(
+            payload["dim"], payload["metric"], nlist=payload["nlist"], seed=payload["seed"]
+        )
+        index._centroids = payload["centroids"]
+        index._cell_vectors = list(payload["cell_vectors"])
+        index._cell_ids = list(payload["cell_ids"])
+        index._ntotal = payload["ntotal"]
+        return index

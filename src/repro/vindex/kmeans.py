@@ -1,0 +1,115 @@
+"""Lloyd's k-means with k-means++ seeding.
+
+Used by three parts of the system: IVF index training, product-quantizer
+codebook training, and the semantic (CLUSTER BY) partitioner.  Pure numpy,
+deterministic under a caller-supplied seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    """Fitted model: centroids plus the assignment of the training points."""
+
+    centroids: np.ndarray
+    assignments: np.ndarray
+    iterations: int
+    inertia: float
+
+
+def _kmeanspp_init(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids proportionally to D²."""
+    n = points.shape[0]
+    centroids = np.empty((k, points.shape[1]), dtype=np.float32)
+    first = int(rng.integers(n))
+    centroids[0] = points[first]
+    closest_sq = np.sum((points - centroids[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            # All remaining points coincide with a centroid; pick randomly.
+            centroids[i] = points[int(rng.integers(n))]
+            continue
+        probs = closest_sq / total
+        choice = int(rng.choice(n, p=probs))
+        centroids[i] = points[choice]
+        dist_sq = np.sum((points - centroids[i]) ** 2, axis=1)
+        np.minimum(closest_sq, dist_sq, out=closest_sq)
+    return centroids
+
+
+def assign_to_centroids(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Index of the nearest centroid for each point (squared-L2)."""
+    # ||p - c||² = ||p||² - 2 p·c + ||c||²; ||p||² is constant per row.
+    cross = points @ centroids.T
+    c_norms = np.einsum("ij,ij->i", centroids, centroids)
+    return np.argmin(c_norms[None, :] - 2.0 * cross, axis=1)
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    max_iterations: int = 25,
+    seed: int = 0,
+    tolerance: float = 1e-4,
+    rng: Optional[np.random.Generator] = None,
+) -> KMeansResult:
+    """Fit ``k`` centroids to ``points`` with Lloyd's algorithm.
+
+    Parameters
+    ----------
+    points:
+        ``(n, dim)`` float array; ``n`` must be at least ``k``.
+    k:
+        Number of clusters.
+    max_iterations:
+        Upper bound on Lloyd iterations; convergence by centroid shift
+        below ``tolerance`` stops earlier.
+    seed / rng:
+        Determinism controls; ``rng`` wins when both are given.
+    """
+    points = np.ascontiguousarray(points, dtype=np.float32)
+    if points.ndim != 2:
+        raise ValueError(f"points must be 2-D, got shape {points.shape}")
+    n = points.shape[0]
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if n < k:
+        raise ValueError(f"cannot fit {k} clusters to {n} points")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+
+    centroids = _kmeanspp_init(points, k, rng)
+    assignments = assign_to_centroids(points, centroids)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        new_centroids = centroids.copy()
+        for cluster in range(k):
+            members = points[assignments == cluster]
+            if members.shape[0] > 0:
+                new_centroids[cluster] = members.mean(axis=0)
+            else:
+                # Re-seed empty clusters at the point farthest from its centroid.
+                residuals = points - centroids[assignments]
+                worst = int(np.argmax(np.einsum("ij,ij->i", residuals, residuals)))
+                new_centroids[cluster] = points[worst]
+        shift = float(np.linalg.norm(new_centroids - centroids))
+        centroids = new_centroids
+        assignments = assign_to_centroids(points, centroids)
+        if shift < tolerance:
+            break
+
+    residuals = points - centroids[assignments]
+    inertia = float(np.einsum("ij,ij->i", residuals, residuals).sum())
+    return KMeansResult(
+        centroids=centroids,
+        assignments=assignments.astype(np.int64),
+        iterations=iterations,
+        inertia=inertia,
+    )

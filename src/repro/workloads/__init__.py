@@ -1,0 +1,39 @@
+"""Workloads: synthetic datasets, recall measurement, benchmark drivers.
+
+The paper evaluates on Cohere (1M×768), OpenAI (5M×1536), LAION
+(1M×512), and a 30M-row production image-search trace — none of which
+are available offline, so :mod:`repro.workloads.datasets` generates
+synthetic datasets with the same *schema and structure* (clustered
+embeddings, scalar predicate columns, captions for regex matching) at
+laptop scale.  :mod:`repro.workloads.vectorbench` reimplements the
+VectorDBBench-style protocol the paper uses: pure vector search and
+hybrid queries at fixed selectivities, measured as QPS at a target
+recall.
+"""
+
+from repro.workloads.datasets import (
+    Dataset,
+    make_cohere_like,
+    make_laion_like,
+    make_openai_like,
+    make_production_like,
+)
+from repro.workloads.recall import ground_truth, recall_at_k
+from repro.workloads.vectorbench import (
+    HybridWorkload,
+    make_hybrid_workload,
+    selectivity_threshold,
+)
+
+__all__ = [
+    "Dataset",
+    "HybridWorkload",
+    "ground_truth",
+    "make_cohere_like",
+    "make_hybrid_workload",
+    "make_laion_like",
+    "make_openai_like",
+    "make_production_like",
+    "recall_at_k",
+    "selectivity_threshold",
+]

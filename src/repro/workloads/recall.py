@@ -1,0 +1,70 @@
+"""Ground truth and recall measurement.
+
+Recall@k against exact (optionally filtered) nearest neighbors, computed
+with brute force outside the simulated clock — accuracy measurement is
+not part of the system under test.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def ground_truth(
+    vectors: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    masks: Optional[Sequence[Optional[np.ndarray]]] = None,
+) -> List[np.ndarray]:
+    """Exact top-``k`` ids per query.
+
+    ``masks`` optionally restricts each query to allowed rows (filtered
+    ground truth for hybrid queries); a None entry means unrestricted.
+    """
+    vectors = np.asarray(vectors, dtype=np.float32)
+    queries = np.asarray(queries, dtype=np.float32)
+    out: List[np.ndarray] = []
+    v_norms = np.einsum("ij,ij->i", vectors, vectors)
+    for qi in range(queries.shape[0]):
+        query = queries[qi]
+        dist_sq = v_norms - 2.0 * (vectors @ query) + float(query @ query)
+        if masks is not None and masks[qi] is not None:
+            allowed = np.flatnonzero(masks[qi])
+            if allowed.size == 0:
+                out.append(np.empty(0, dtype=np.int64))
+                continue
+            local = dist_sq[allowed]
+            take = min(k, allowed.size)
+            part = np.argpartition(local, take - 1)[:take]
+            order = part[np.argsort(local[part], kind="stable")]
+            out.append(allowed[order].astype(np.int64))
+        else:
+            take = min(k, vectors.shape[0])
+            part = np.argpartition(dist_sq, take - 1)[:take]
+            order = part[np.argsort(dist_sq[part], kind="stable")]
+            out.append(order.astype(np.int64))
+    return out
+
+
+def recall_at_k(
+    results: Sequence[Sequence[int]],
+    truth: Sequence[Sequence[int]],
+    k: int,
+) -> float:
+    """Mean recall@k over all queries.
+
+    Each query contributes ``|result ∩ truth| / min(k, |truth|)``;
+    queries whose ground truth is empty are skipped.
+    """
+    scores: List[float] = []
+    for got, want in zip(results, truth):
+        want_set = set(int(x) for x in list(want)[:k])
+        if not want_set:
+            continue
+        got_set = set(int(x) for x in list(got)[:k])
+        scores.append(len(got_set & want_set) / len(want_set))
+    if not scores:
+        return 0.0
+    return float(np.mean(scores))

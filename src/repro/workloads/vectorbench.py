@@ -1,0 +1,121 @@
+"""VectorDBBench-style workload construction.
+
+The paper uses VectorBench (Zilliz's VectorDBBench) for two query
+patterns: pure top-k vector search, and hybrid queries with a scalar
+filter of fixed selectivity.  Note the paper's selectivity convention:
+"*hybrid query with 99% selectivity*" means 99% of rows are *filtered
+out* (≈1% pass), which is why brute force wins there; "1% selectivity"
+means ≈99% pass, where post-filtering wins.  Helpers here take the
+*pass fraction* explicitly and label workloads in the paper's terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.workloads.datasets import Dataset
+from repro.workloads.recall import ground_truth
+
+ATTR_DOMAIN = 10_000  # the generators draw `attr` from [0, ATTR_DOMAIN)
+
+
+def selectivity_threshold(pass_fraction: float) -> int:
+    """`attr < threshold` value passing roughly ``pass_fraction`` rows."""
+    if not 0.0 <= pass_fraction <= 1.0:
+        raise ValueError(f"pass fraction out of range: {pass_fraction}")
+    return int(round(pass_fraction * ATTR_DOMAIN))
+
+
+@dataclass
+class HybridWorkload:
+    """A ready-to-run workload: queries, filters, SQL, ground truth."""
+
+    dataset: Dataset
+    k: int
+    pass_fraction: float                 # fraction of rows the filter admits
+    paper_selectivity_label: str         # e.g. "1%" (paper convention)
+    masks: List[Optional[np.ndarray]]    # per-query allowed-row masks
+    where_clauses: List[Optional[str]]   # per-query SQL WHERE text
+    truth: List[np.ndarray] = field(default_factory=list)
+
+    @property
+    def queries(self) -> np.ndarray:
+        """Query vectors."""
+        return self.dataset.queries
+
+    def sql(self, query_index: int, table: str = "bench") -> str:
+        """Full SELECT text for one query against ``table``."""
+        vector = self.queries[query_index]
+        literal = "[" + ",".join(f"{x:.6f}" for x in vector.tolist()) + "]"
+        where = self.where_clauses[query_index]
+        where_text = f"WHERE {where} " if where else ""
+        return (
+            f"SELECT id, dist FROM {table} {where_text}"
+            f"ORDER BY L2Distance(embedding, {literal}) AS dist LIMIT {self.k}"
+        )
+
+
+def make_hybrid_workload(
+    dataset: Dataset,
+    k: int = 10,
+    pass_fraction: Optional[float] = None,
+) -> HybridWorkload:
+    """Build a pure or hybrid workload over ``dataset``.
+
+    ``pass_fraction=None`` yields pure vector search; otherwise every
+    query carries ``attr < threshold`` admitting roughly that fraction.
+    """
+    n_queries = dataset.queries.shape[0]
+    if pass_fraction is None:
+        masks: List[Optional[np.ndarray]] = [None] * n_queries
+        wheres: List[Optional[str]] = [None] * n_queries
+        label = "none"
+    else:
+        threshold = selectivity_threshold(pass_fraction)
+        attr = np.asarray(dataset.scalars["attr"])
+        mask = attr < threshold
+        masks = [mask] * n_queries
+        wheres = [f"attr < {threshold}"] * n_queries
+        # Paper convention: "X% selectivity" = X% filtered out.
+        label = f"{round((1.0 - pass_fraction) * 100)}%"
+    truth = ground_truth(dataset.vectors, dataset.queries, k, masks)
+    return HybridWorkload(
+        dataset=dataset,
+        k=k,
+        pass_fraction=1.0 if pass_fraction is None else pass_fraction,
+        paper_selectivity_label=label,
+        masks=masks,
+        where_clauses=wheres,
+        truth=truth,
+    )
+
+
+def qps_from_latencies(latencies: List[float]) -> float:
+    """Single-stream QPS: queries divided by total simulated time."""
+    total = sum(latencies)
+    if total <= 0:
+        return 0.0
+    return len(latencies) / total
+
+
+@dataclass
+class SweepPoint:
+    """One (search parameter, recall, qps) measurement."""
+
+    params: Dict[str, int]
+    recall: float
+    qps: float
+
+
+def qps_at_recall(points: List[SweepPoint], target: float) -> Optional[SweepPoint]:
+    """Best-QPS point meeting ``target`` recall, or None.
+
+    This is VectorDBBench's reporting rule for "QPS at recall@0.99".
+    """
+    eligible = [p for p in points if p.recall >= target]
+    if not eligible:
+        return None
+    return max(eligible, key=lambda p: p.qps)

@@ -1,0 +1,5 @@
+"""Shared test helpers (importable: tests/ is a package)."""
+
+def vector_sql(vector) -> str:
+    """Render a numpy vector as a SQL vector literal."""
+    return "[" + ",".join(f"{float(x):.6f}" for x in vector) + "]"

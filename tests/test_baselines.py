@@ -1,0 +1,130 @@
+"""Tests for the Milvus-like and pgvector-like baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MilvusLike, PgVectorLike
+from repro.workloads import make_cohere_like, make_hybrid_workload, recall_at_k
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_cohere_like(n=2000, dim=24, n_queries=25)
+
+
+def load(cls, dataset, **kwargs):
+    system = cls()
+    system.load(
+        dataset.vectors, dataset.scalars,
+        index_type="HNSW", index_params={"m": 8, "ef_construction": 48},
+        **kwargs,
+    )
+    return system
+
+
+def measured_recall(system, workload, **params):
+    results = []
+    for qi in range(len(workload.queries)):
+        ids, _ = system.search(
+            workload.queries[qi], workload.k, mask=workload.masks[qi], **params
+        )
+        results.append(ids.tolist())
+    return recall_at_k(results, workload.truth, workload.k)
+
+
+class TestLoad:
+    def test_load_charges_time(self, dataset):
+        system = MilvusLike()
+        elapsed = system.load(dataset.vectors, dataset.scalars)
+        assert elapsed > 0
+        assert system.ntotal == dataset.n
+
+    def test_pgvector_load_slower_than_milvus(self, dataset):
+        milvus = MilvusLike()
+        pgvector = PgVectorLike()
+        t_milvus = milvus.load(dataset.vectors, dataset.scalars)
+        t_pg = pgvector.load(dataset.vectors, dataset.scalars)
+        assert t_pg > t_milvus
+
+
+class TestPureSearch:
+    def test_both_reach_high_recall(self, dataset):
+        workload = make_hybrid_workload(dataset, k=10)
+        for cls in (MilvusLike, PgVectorLike):
+            system = load(cls, dataset)
+            assert measured_recall(system, workload, ef_search=100) > 0.9
+
+    def test_pgvector_faster_than_milvus(self, dataset):
+        """Paper Fig 9: pgvector and BlendHouse beat Milvus on pure
+        vector search thanks to leaner execution."""
+        workload = make_hybrid_workload(dataset, k=10)
+        latencies = {}
+        for cls in (MilvusLike, PgVectorLike):
+            system = load(cls, dataset)
+            start = system.clock.now
+            for qi in range(len(workload.queries)):
+                system.search(workload.queries[qi], 10, ef_search=64)
+            latencies[cls.__name__] = system.clock.now - start
+        assert latencies["PgVectorLike"] < latencies["MilvusLike"]
+
+
+class TestHybridBehaviour:
+    def test_milvus_prefilter_keeps_recall_at_low_pass(self, dataset):
+        workload = make_hybrid_workload(dataset, k=10, pass_fraction=0.01)
+        system = load(MilvusLike, dataset)
+        assert measured_recall(system, workload, ef_search=100) > 0.9
+
+    def test_milvus_brute_force_switch(self, dataset):
+        workload = make_hybrid_workload(dataset, k=10, pass_fraction=0.01)
+        system = load(MilvusLike, dataset)
+        measured_recall(system, workload)
+        assert system.metrics.count("milvus.brute_force_switches") > 0
+
+    def test_pgvector_recall_collapses_at_low_pass(self, dataset):
+        """Paper §V-B1: pgvector's non-iterative post-filter yields <10%
+        recall when 99% of rows are filtered out."""
+        workload = make_hybrid_workload(dataset, k=10, pass_fraction=0.01)
+        system = load(PgVectorLike, dataset)
+        assert measured_recall(system, workload, ef_search=64) < 0.3
+
+    def test_pgvector_fine_at_high_pass(self, dataset):
+        workload = make_hybrid_workload(dataset, k=10, pass_fraction=0.99)
+        system = load(PgVectorLike, dataset)
+        assert measured_recall(system, workload, ef_search=100) > 0.85
+
+    def test_empty_filter_returns_empty(self, dataset):
+        system = load(MilvusLike, dataset)
+        mask = np.zeros(dataset.n, dtype=bool)
+        ids, distances = system.search(dataset.queries[0], 5, mask=mask)
+        assert len(ids) == 0
+
+
+class TestPartitioning:
+    def test_partitioned_load_and_prune(self, dataset):
+        scalars = dict(dataset.scalars)
+        scalars["part"] = [f"p{i % 4}" for i in range(dataset.n)]
+        system = MilvusLike()
+        system.load(dataset.vectors, scalars, partition_column="part")
+        assert len(system._indexes) == 4
+        ids, _ = system.search(
+            dataset.queries[0], 5, partition_filter={"p0"}
+        )
+        part = scalars["part"]
+        assert all(part[i] == "p0" for i in ids.tolist())
+
+    def test_partition_pruning_cheaper(self, dataset):
+        scalars = dict(dataset.scalars)
+        scalars["part"] = [f"p{i % 4}" for i in range(dataset.n)]
+        system = MilvusLike()
+        system.load(
+            dataset.vectors, scalars,
+            index_type="HNSW", index_params={"m": 8, "ef_construction": 48},
+            partition_column="part",
+        )
+        start = system.clock.now
+        system.search(dataset.queries[0], 5)
+        full = system.clock.now - start
+        start = system.clock.now
+        system.search(dataset.queries[0], 5, partition_filter={"p0"})
+        pruned = system.clock.now - start
+        assert pruned < full

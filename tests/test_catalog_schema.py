@@ -1,0 +1,122 @@
+"""Tests for table schemas and column types."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.schema import ColumnType, TableSchema, column_type_from_ddl
+from repro.errors import SchemaError
+from repro.sqlparser.ast_nodes import ColumnDef
+from repro.vindex.registry import IndexSpec
+
+
+def coldefs():
+    return [
+        ColumnDef("id", "UInt64"),
+        ColumnDef("label", "String"),
+        ColumnDef("embedding", "Array", ("Float32",)),
+    ]
+
+
+class TestColumnTypes:
+    def test_ddl_mapping(self):
+        assert column_type_from_ddl("UInt64") is ColumnType.UINT64
+        assert column_type_from_ddl("string") is ColumnType.STRING
+        assert column_type_from_ddl("DateTime") is ColumnType.DATETIME
+        assert column_type_from_ddl("Array", ("Float32",)) is ColumnType.VECTOR
+
+    def test_unsupported_type(self):
+        with pytest.raises(SchemaError):
+            column_type_from_ddl("UUID")
+
+    def test_unsupported_array_element(self):
+        with pytest.raises(SchemaError):
+            column_type_from_ddl("Array", ("String",))
+
+    def test_is_numeric(self):
+        assert ColumnType.UINT64.is_numeric
+        assert ColumnType.DATETIME.is_numeric
+        assert not ColumnType.STRING.is_numeric
+        assert not ColumnType.VECTOR.is_numeric
+
+
+class TestFromDDL:
+    def test_builds_schema(self):
+        spec = IndexSpec(index_type="FLAT", dim=8, column="embedding")
+        schema = TableSchema.from_ddl("t", coldefs(), index_spec=spec)
+        assert schema.vector_column == "embedding"
+        assert schema.vector_dim == 8
+        assert schema.scalar_columns == ["id", "label"]
+
+    def test_duplicate_column_rejected(self):
+        defs = coldefs() + [ColumnDef("id", "Int64")]
+        with pytest.raises(SchemaError):
+            TableSchema.from_ddl("t", defs)
+
+    def test_two_vector_columns_rejected(self):
+        defs = coldefs() + [ColumnDef("v2", "Array", ("Float32",))]
+        with pytest.raises(SchemaError):
+            TableSchema.from_ddl("t", defs)
+
+    def test_index_without_vector_column_rejected(self):
+        spec = IndexSpec(index_type="FLAT", dim=8, column="embedding")
+        with pytest.raises(SchemaError):
+            TableSchema.from_ddl("t", [ColumnDef("id", "UInt64")], index_spec=spec)
+
+    def test_index_wrong_column_rejected(self):
+        spec = IndexSpec(index_type="FLAT", dim=8, column="other")
+        with pytest.raises(SchemaError):
+            TableSchema.from_ddl("t", coldefs(), index_spec=spec)
+
+    def test_cluster_by_must_be_vector(self):
+        with pytest.raises(SchemaError):
+            TableSchema.from_ddl("t", coldefs(), cluster_by="label", cluster_buckets=4)
+
+    def test_order_by_unknown_column(self):
+        with pytest.raises(SchemaError):
+            TableSchema.from_ddl("t", coldefs(), order_by=["ghost"])
+
+
+class TestRowValidation:
+    @pytest.fixture
+    def schema(self):
+        spec = IndexSpec(index_type="FLAT", dim=4, column="embedding")
+        return TableSchema.from_ddl("t", coldefs(), index_spec=spec)
+
+    def test_valid_row(self, schema):
+        row = schema.validate_row(
+            {"id": 1, "label": "x", "embedding": [0.0, 1.0, 2.0, 3.0]}
+        )
+        assert isinstance(row["embedding"], np.ndarray)
+        assert row["embedding"].dtype == np.float32
+
+    def test_missing_column(self, schema):
+        with pytest.raises(SchemaError):
+            schema.validate_row({"id": 1, "label": "x"})
+
+    def test_extra_column(self, schema):
+        with pytest.raises(SchemaError):
+            schema.validate_row(
+                {"id": 1, "label": "x", "embedding": [0] * 4, "ghost": 1}
+            )
+
+    def test_wrong_vector_length(self, schema):
+        with pytest.raises(SchemaError):
+            schema.validate_row({"id": 1, "label": "x", "embedding": [0.0] * 3})
+
+    def test_type_mismatches(self, schema):
+        with pytest.raises(SchemaError):
+            schema.validate_row({"id": "str", "label": "x", "embedding": [0] * 4})
+        with pytest.raises(SchemaError):
+            schema.validate_row({"id": 1, "label": 7, "embedding": [0] * 4})
+
+    def test_unsigned_negative_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.validate_row({"id": -1, "label": "x", "embedding": [0] * 4})
+
+    def test_finalize_columns_dtypes(self, schema):
+        scalars, _ = schema.empty_columns()
+        scalars["id"].extend([1, 2])
+        scalars["label"].extend(["a", "b"])
+        out = schema.finalize_columns(scalars)
+        assert out["id"].dtype == np.uint64
+        assert out["label"] == ["a", "b"]

@@ -1,0 +1,123 @@
+"""Tests for multi-probe consistent hashing, with hypothesis invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.hashring import MultiProbeHashRing
+from repro.errors import NoWorkersError
+
+
+def keys(n=200):
+    return [f"table/seg-{i:05d}" for i in range(n)]
+
+
+class TestMembership:
+    def test_add_remove(self):
+        ring = MultiProbeHashRing()
+        ring.add_worker("w1")
+        ring.add_worker("w2")
+        assert ring.worker_ids == ["w1", "w2"]
+        assert ring.remove_worker("w1")
+        assert not ring.remove_worker("w1")
+        assert ring.worker_ids == ["w2"]
+
+    def test_add_idempotent(self):
+        ring = MultiProbeHashRing()
+        ring.add_worker("w1")
+        ring.add_worker("w1")
+        assert len(ring) == 1
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(NoWorkersError):
+            MultiProbeHashRing().assign("seg")
+
+    def test_bad_probe_count(self):
+        with pytest.raises(ValueError):
+            MultiProbeHashRing(probes=0)
+
+
+class TestAssignment:
+    def test_deterministic(self):
+        ring = MultiProbeHashRing()
+        for w in ("a", "b", "c"):
+            ring.add_worker(w)
+        assert ring.assign("seg-1") == ring.assign("seg-1")
+
+    def test_single_worker_gets_everything(self):
+        ring = MultiProbeHashRing()
+        ring.add_worker("only")
+        assert all(ring.assign(k) == "only" for k in keys(20))
+
+    def test_balance_reasonable(self):
+        """Multi-probe's selling point: near-uniform load with one point
+        per worker."""
+        ring = MultiProbeHashRing()
+        workers = [f"w{i}" for i in range(8)]
+        for w in workers:
+            ring.add_worker(w)
+        counts = ring.load_distribution(keys(800))
+        expected = 800 / 8
+        assert max(counts.values()) < 2.2 * expected
+        assert min(counts.values()) > 0.3 * expected
+
+    def test_scale_up_moves_about_one_over_n(self):
+        """The consistent-hashing property the paper leans on: adding a
+        worker to n moves ≈ 1/(n+1) of keys."""
+        ring = MultiProbeHashRing()
+        for i in range(5):
+            ring.add_worker(f"w{i}")
+        before = ring.assignment(keys(600))
+        ring.add_worker("w5")
+        after = ring.assignment(keys(600))
+        moved = sum(1 for k in before if before[k] != after[k])
+        fraction = moved / 600
+        assert 0.05 < fraction < 0.35  # ideal 1/6 ≈ 0.167
+
+    def test_moved_keys_go_to_new_worker(self):
+        ring = MultiProbeHashRing()
+        for i in range(4):
+            ring.add_worker(f"w{i}")
+        before = ring.assignment(keys(400))
+        ring.add_worker("new")
+        after = ring.assignment(keys(400))
+        for key in before:
+            if before[key] != after[key]:
+                assert after[key] == "new"
+
+    def test_remove_only_reassigns_victims_keys(self):
+        ring = MultiProbeHashRing()
+        for i in range(5):
+            ring.add_worker(f"w{i}")
+        before = ring.assignment(keys(400))
+        ring.remove_worker("w2")
+        after = ring.assignment(keys(400))
+        for key in before:
+            if before[key] != "w2":
+                assert after[key] == before[key]
+
+
+class TestProperties:
+    @given(
+        n_workers=st.integers(min_value=1, max_value=12),
+        n_keys=st.integers(min_value=1, max_value=120),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_every_key_assigned_to_member(self, n_workers, n_keys):
+        ring = MultiProbeHashRing()
+        workers = [f"w{i}" for i in range(n_workers)]
+        for w in workers:
+            ring.add_worker(w)
+        for key in keys(n_keys):
+            assert ring.assign(key) in workers
+
+    @given(st.integers(min_value=2, max_value=10))
+    @settings(max_examples=10, deadline=None)
+    def test_add_then_remove_restores_assignment(self, n_workers):
+        ring = MultiProbeHashRing()
+        for i in range(n_workers):
+            ring.add_worker(f"w{i}")
+        before = ring.assignment(keys(100))
+        ring.add_worker("transient")
+        ring.remove_worker("transient")
+        after = ring.assignment(keys(100))
+        assert before == after

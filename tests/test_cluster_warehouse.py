@@ -1,0 +1,176 @@
+"""Tests for virtual warehouses and the clustered engine."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.engine import ClusteredBlendHouse
+from repro.cluster.faults import FaultSchedule
+from repro.errors import NoWorkersError
+
+
+def vector_sql(vector):
+    return "[" + ",".join(f"{float(x):.6f}" for x in vector) + "]"
+
+
+@pytest.fixture
+def cluster():
+    engine = ClusteredBlendHouse(read_workers=3)
+    engine.execute(
+        "CREATE TABLE docs (id UInt64, label String, embedding Array(Float32), "
+        "INDEX ann embedding TYPE FLAT('DIM=8'))"
+    )
+    engine.db.table("docs").writer.config.max_segment_rows = 100
+    rng = np.random.default_rng(0)
+    rows = [
+        {"id": i, "label": ["a", "b"][i % 2],
+         "embedding": rng.normal(size=8).astype(np.float32)}
+        for i in range(600)
+    ]
+    engine.insert_rows("docs", rows)
+    engine._rows = rows
+    return engine
+
+
+def top_ids(cluster, k=5, where=""):
+    query = cluster._rows[17]["embedding"]
+    where_text = f"WHERE {where} " if where else ""
+    sql = (
+        f"SELECT id, dist FROM docs {where_text}"
+        f"ORDER BY L2Distance(embedding, {vector_sql(query)}) AS dist LIMIT {k}"
+    )
+    return [row[0] for row in cluster.execute(sql).rows]
+
+
+class TestDistributedCorrectness:
+    def test_matches_exact_search(self, cluster):
+        rows = cluster._rows
+        query = rows[17]["embedding"]
+        distances = sorted(
+            (float(np.linalg.norm(r["embedding"] - query)), r["id"]) for r in rows
+        )
+        expected = [rid for _, rid in distances[:5]]
+        assert top_ids(cluster) == expected
+
+    def test_hybrid_predicate_respected(self, cluster):
+        ids = top_ids(cluster, k=5, where="label = 'a'")
+        assert all(i % 2 == 0 for i in ids)
+
+    def test_cold_cluster_uses_brute_force(self, cluster):
+        top_ids(cluster)
+        assert cluster.metrics.count("warehouse.tier.brute") > 0
+
+    def test_preload_switches_to_local(self, cluster):
+        loaded = cluster.preload("docs")
+        assert loaded == len(cluster.db.table("docs").manager)
+        before = cluster.metrics.count("warehouse.tier.local")
+        top_ids(cluster)
+        assert cluster.metrics.count("warehouse.tier.local") > before
+
+    def test_empty_warehouse_raises(self, cluster):
+        cluster.read_vw.scale_to(0)
+        with pytest.raises(NoWorkersError):
+            top_ids(cluster)
+
+
+class TestScaling:
+    def test_serving_after_scale_up(self, cluster):
+        cluster.preload("docs")
+        top_ids(cluster)
+        cluster.scale_to(5)
+        top_ids(cluster)
+        assert cluster.metrics.count("warehouse.tier.serving") > 0
+
+    def test_results_stable_across_scaling(self, cluster):
+        cluster.preload("docs")
+        before = top_ids(cluster)
+        cluster.scale_to(6)
+        after = top_ids(cluster)
+        assert before == after
+
+    def test_scale_down(self, cluster):
+        cluster.scale_to(1)
+        assert cluster.read_vw.worker_count == 1
+        assert len(top_ids(cluster)) == 5
+
+    def test_makespan_parallelism(self, cluster):
+        """More workers → less simulated time per query (same work split
+        across more nodes)."""
+        cluster.preload("docs")
+        cluster.settings.enable_plan_cache = True
+        top_ids(cluster)  # warm plan cache
+        one_start = cluster.clock.now
+        top_ids(cluster)
+        t_three = cluster.clock.now - one_start
+
+        cluster.scale_to(6)
+        cluster.preload("docs")
+        two_start = cluster.clock.now
+        top_ids(cluster)
+        t_six = cluster.clock.now - two_start
+        assert t_six <= t_three * 1.05
+
+
+class TestInterference:
+    def test_background_load_inflates_makespan(self, cluster):
+        """Interference applies to the warehouse's compute makespan (the
+        planning path runs on the service layer and is unaffected)."""
+        cluster.preload("docs")
+        recorder = cluster.metrics.latency("warehouse.makespan")
+        top_ids(cluster)
+        clean = recorder.values[-1]
+        cluster.read_vw.background_load = 0.75
+        top_ids(cluster)
+        loaded = recorder.values[-1]
+        assert loaded == pytest.approx(clean * 4.0, rel=0.2)
+
+
+class TestFaults:
+    def test_query_survives_worker_failure(self, cluster):
+        cluster.preload("docs")
+        expected = top_ids(cluster)
+        victim = sorted(cluster.read_vw.workers)[0]
+        cluster.read_vw.fail_worker(victim)
+        assert top_ids(cluster) == expected
+
+    def test_fault_schedule_fires_in_order(self, cluster):
+        schedule = FaultSchedule(cluster.read_vw)
+        victim = sorted(cluster.read_vw.workers)[0]
+        now = cluster.clock.now
+        schedule.fail_at(now + 0.5, victim).recover_at(now + 1.0, victim)
+        assert schedule.pending == 2
+        cluster.clock.advance(0.6)
+        fired = schedule.tick()
+        assert [k for _, k, _ in fired] == ["fail"]
+        assert cluster.read_vw.worker_count == 2
+        cluster.clock.advance(0.5)
+        schedule.tick()
+        assert cluster.read_vw.worker_count == 3
+        assert schedule.pending == 0
+
+    def test_recovered_worker_serves(self, cluster):
+        schedule = FaultSchedule(cluster.read_vw)
+        victim = sorted(cluster.read_vw.workers)[0]
+        cluster.read_vw.fail_worker(victim)
+        schedule.recover_at(cluster.clock.now, victim)
+        schedule.tick()
+        assert len(top_ids(cluster)) == 5
+
+
+class TestCompactionInvalidation:
+    def test_retired_indexes_dropped_from_workers(self, cluster):
+        cluster.preload("docs")
+        runtime = cluster.db.table("docs")
+        keys_before = {
+            sid: runtime.manager.index_key(sid)
+            for sid in runtime.manager.segment_ids()
+        }
+        results = cluster.db.compact("docs")
+        assert results, "compaction should merge the small segments"
+        surviving = set(runtime.manager.segment_ids())
+        retired_keys = [
+            key for sid, key in keys_before.items() if sid not in surviving
+        ]
+        assert retired_keys, "some segments must have been retired"
+        for worker in cluster.read_vw.workers.values():
+            for key in retired_keys:
+                assert not worker.has_index_in_memory(key)

@@ -1,0 +1,134 @@
+"""Tests for engine features added beyond the first pass: index metrics
+(METRIC option), metric-mismatch safety, and DROP TABLE garbage
+collection."""
+
+import numpy as np
+import pytest
+
+from repro.core.database import BlendHouse
+from repro.planner.optimizer import ExecutionStrategy
+
+from tests.helpers import vector_sql
+
+
+def normalized_rows(rng, n=300, dim=8):
+    vectors = rng.normal(size=(n, dim)).astype(np.float32)
+    vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+    return [
+        {"id": i, "embedding": vectors[i]} for i in range(n)
+    ], vectors
+
+
+class TestMetricOption:
+    def test_metric_parsed_into_spec(self):
+        db = BlendHouse()
+        db.execute(
+            "CREATE TABLE t (id UInt64, embedding Array(Float32), "
+            "INDEX ann embedding TYPE HNSW('DIM=8', 'METRIC=cosine'))"
+        )
+        assert db.table("t").entry.schema.index_spec.metric == "cosine"
+
+    def test_cosine_index_serves_cosine_queries(self, rng):
+        db = BlendHouse()
+        db.execute(
+            "CREATE TABLE t (id UInt64, embedding Array(Float32), "
+            "INDEX ann embedding TYPE HNSW('DIM=8', 'METRIC=cosine'))"
+        )
+        rows, vectors = normalized_rows(rng)
+        db.insert_rows("t", rows)
+        query = vectors[13]
+        result = db.execute(
+            f"SELECT id, dist FROM t ORDER BY "
+            f"CosineDistance(embedding, {vector_sql(query)}) AS dist LIMIT 5"
+        )
+        assert result.rows[0][0] == 13
+        # Cosine self-distance is ~0.
+        assert result.rows[0][1] == pytest.approx(0.0, abs=1e-5)
+
+    def test_ip_metric_end_to_end(self, rng):
+        db = BlendHouse()
+        db.execute(
+            "CREATE TABLE t (id UInt64, embedding Array(Float32), "
+            "INDEX ann embedding TYPE FLAT('DIM=8', 'METRIC=ip'))"
+        )
+        rows, vectors = normalized_rows(rng)
+        db.insert_rows("t", rows)
+        query = vectors[7]
+        result = db.execute(
+            f"SELECT id FROM t ORDER BY "
+            f"IPDistance(embedding, {vector_sql(query)}) LIMIT 1"
+        )
+        expected = int(np.argmax(vectors @ query))
+        assert result.rows[0][0] == expected
+
+
+class TestMetricMismatchSafety:
+    @pytest.fixture
+    def l2_db(self, rng):
+        db = BlendHouse()
+        db.execute(
+            "CREATE TABLE t (id UInt64, embedding Array(Float32), "
+            "INDEX ann embedding TYPE HNSW('DIM=8'))"  # l2 index
+        )
+        rows, vectors = normalized_rows(rng)
+        db.insert_rows("t", rows)
+        return db, vectors
+
+    def test_mismatched_query_still_correct(self, l2_db):
+        db, vectors = l2_db
+        query = vectors[21]
+        result = db.execute(
+            f"SELECT id FROM t ORDER BY "
+            f"CosineDistance(embedding, {vector_sql(query)}) LIMIT 5"
+        )
+        cosine = 1.0 - vectors @ query / (
+            np.linalg.norm(vectors, axis=1) * np.linalg.norm(query)
+        )
+        expected = np.argsort(cosine)[:5].tolist()
+        assert [row[0] for row in result.rows] == expected
+        assert db.metrics.count("planner.metric_mismatch_fallbacks") >= 1
+
+    def test_matching_query_uses_index(self, l2_db):
+        db, vectors = l2_db
+        query = vectors[21]
+        db.execute(
+            f"SELECT id FROM t ORDER BY "
+            f"L2Distance(embedding, {vector_sql(query)}) LIMIT 5"
+        )
+        assert db.metrics.count("planner.metric_mismatch_fallbacks") == 0
+
+
+class TestDropTableGC:
+    def test_store_objects_deleted(self, rng):
+        db = BlendHouse()
+        db.execute(
+            "CREATE TABLE t (id UInt64, embedding Array(Float32), "
+            "INDEX ann embedding TYPE FLAT('DIM=8'))"
+        )
+        rows, _ = normalized_rows(rng, n=100)
+        db.insert_rows("t", rows)
+        assert db.store.list_keys("segments/")
+        assert db.store.list_keys("indexes/")
+        db.execute("DROP TABLE t")
+        assert db.store.list_keys("segments/") == []
+        assert db.store.list_keys("indexes/") == []
+
+    def test_drop_missing_if_exists_no_gc_crash(self):
+        db = BlendHouse()
+        assert db.execute("DROP TABLE IF EXISTS ghost") is False
+
+    def test_recreate_after_drop(self, rng):
+        db = BlendHouse()
+        ddl = ("CREATE TABLE t (id UInt64, embedding Array(Float32), "
+               "INDEX ann embedding TYPE FLAT('DIM=8'))")
+        db.execute(ddl)
+        rows, vectors = normalized_rows(rng, n=50)
+        db.insert_rows("t", rows)
+        db.execute("DROP TABLE t")
+        db.execute(ddl)
+        db.insert_rows("t", rows)
+        result = db.execute(
+            f"SELECT id FROM t ORDER BY "
+            f"L2Distance(embedding, {vector_sql(vectors[3])}) LIMIT 1"
+        )
+        assert result.rows[0][0] == 3

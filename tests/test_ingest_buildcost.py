@@ -1,0 +1,59 @@
+"""Tests for the simulated index-build cost model."""
+
+import pytest
+
+from repro.ingest.buildcost import estimate_index_build_cost
+from repro.simulate.costmodel import DeviceCostModel
+
+COST = DeviceCostModel()
+
+
+def build(index_type, n=100_000, dim=128, **params):
+    return estimate_index_build_cost(index_type, n, dim, params, COST)
+
+
+class TestOrdering:
+    def test_paper_table5_ordering(self):
+        """HNSW > HNSWSQ > IVFPQFS, the Table V shape."""
+        hnsw = build("HNSW", m=16, ef_construction=100)
+        hnswsq = build("HNSWSQ", m=16, ef_construction=100)
+        ivfpqfs = build("IVFPQFS", nlist=1000, m=8)
+        assert hnsw > hnswsq > ivfpqfs
+
+    def test_hnswsq_ratio_near_paper(self):
+        hnsw = build("HNSW", m=16, ef_construction=100)
+        hnswsq = build("HNSWSQ", m=16, ef_construction=100)
+        assert 0.5 < hnswsq / hnsw < 0.75  # paper: ~0.63-0.65
+
+    def test_flat_is_cheapest(self):
+        assert build("FLAT") < build("IVFPQFS", nlist=1000, m=8)
+
+    def test_ivfpq_more_than_fastscan(self):
+        # 256-codeword sub-quantizers train and encode slower than 16.
+        assert build("IVFPQ", nlist=1000, m=8) > build("IVFPQFS", nlist=1000, m=8)
+
+
+class TestScaling:
+    def test_monotone_in_rows(self):
+        costs = [build("HNSW", n=n) for n in (1_000, 10_000, 100_000)]
+        assert costs == sorted(costs)
+
+    def test_monotone_in_dim(self):
+        assert build("HNSW", dim=768) > build("HNSW", dim=64)
+
+    def test_monotone_in_ef_construction(self):
+        assert build("HNSW", ef_construction=200) > build("HNSW", ef_construction=50)
+
+    def test_zero_rows_free(self):
+        assert build("HNSW", n=0) == 0.0
+
+    def test_unknown_type_conservative(self):
+        assert build("FUTURE_INDEX") > 0
+
+
+class TestDeviceSensitivity:
+    def test_scales_with_flop_cost(self):
+        slow = DeviceCostModel().scaled(distance_flop_s=1e-8)
+        fast = DeviceCostModel().scaled(distance_flop_s=1e-10)
+        assert estimate_index_build_cost("HNSW", 10_000, 64, {}, slow) > \
+            estimate_index_build_cost("HNSW", 10_000, 64, {}, fast)

@@ -1,0 +1,142 @@
+"""Tests for CSV bulk loading (INSERT INTO ... CSV INFILE)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog.schema import TableSchema
+from repro.core.database import BlendHouse
+from repro.errors import SchemaError
+from repro.ingest.csvload import parse_vector_cell, read_csv_rows, write_csv_rows
+from repro.sqlparser.ast_nodes import ColumnDef
+from repro.vindex.registry import IndexSpec
+
+from tests.helpers import vector_sql
+
+
+def make_schema(dim=4):
+    return TableSchema.from_ddl(
+        "t",
+        [
+            ColumnDef("id", "UInt64"),
+            ColumnDef("label", "String"),
+            ColumnDef("score", "Float64"),
+            ColumnDef("embedding", "Array", ("Float32",)),
+        ],
+        index_spec=IndexSpec(index_type="FLAT", dim=dim, column="embedding"),
+    )
+
+
+class TestVectorCell:
+    def test_bracketed(self):
+        np.testing.assert_allclose(
+            parse_vector_cell("[0.1, -0.2, 3]"), [0.1, -0.2, 3.0], rtol=1e-6
+        )
+
+    def test_unbracketed(self):
+        np.testing.assert_allclose(parse_vector_cell("1,2"), [1.0, 2.0])
+
+    def test_empty(self):
+        assert parse_vector_cell("[]").size == 0
+
+    def test_malformed(self):
+        with pytest.raises(SchemaError):
+            parse_vector_cell("[a, b]")
+
+
+class TestReadCsv:
+    def write(self, tmp_path, text):
+        path = tmp_path / "data.csv"
+        path.write_text(text, encoding="utf-8")
+        return str(path)
+
+    def test_with_header_any_order(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            'label,id,embedding,score\n'
+            'cat,1,"[0.1, 0.2, 0.3, 0.4]",0.5\n'
+            'dog,2,"[1, 0, 0, 0]",0.25\n',
+        )
+        rows = read_csv_rows(path, make_schema())
+        assert rows[0]["id"] == 1 and rows[0]["label"] == "cat"
+        np.testing.assert_allclose(rows[1]["embedding"], [1, 0, 0, 0])
+
+    def test_without_header_ddl_order(self, tmp_path):
+        path = self.write(
+            tmp_path, '3,bird,0.75,"[0, 1, 0, 0]"\n'
+        )
+        rows = read_csv_rows(path, make_schema())
+        assert rows[0]["id"] == 3 and rows[0]["label"] == "bird"
+
+    def test_explicit_columns(self, tmp_path):
+        path = self.write(tmp_path, '"[0,0,0,1]",9,x,0.1\n')
+        rows = read_csv_rows(
+            path, make_schema(), columns=["embedding", "id", "label", "score"]
+        )
+        assert rows[0]["id"] == 9
+
+    def test_arity_mismatch(self, tmp_path):
+        path = self.write(tmp_path, "1,cat\n")
+        with pytest.raises(SchemaError):
+            read_csv_rows(path, make_schema())
+
+    def test_bad_numeric_cell(self, tmp_path):
+        path = self.write(tmp_path, 'oops,cat,0.5,"[0,0,0,0]"\n')
+        with pytest.raises(SchemaError):
+            read_csv_rows(path, make_schema())
+
+    def test_empty_file(self, tmp_path):
+        path = self.write(tmp_path, "")
+        assert read_csv_rows(path, make_schema()) == []
+
+
+class TestEndToEnd:
+    def test_insert_csv_infile_sql(self, tmp_path, rng):
+        db = BlendHouse()
+        db.execute(
+            "CREATE TABLE t (id UInt64, label String, score Float64, "
+            "embedding Array(Float32), INDEX ann embedding TYPE FLAT('DIM=4'))"
+        )
+        schema = db.table("t").entry.schema
+        rows = [
+            {"id": i, "label": f"l{i % 2}", "score": float(i) / 10,
+             "embedding": rng.normal(size=4).astype(np.float32)}
+            for i in range(40)
+        ]
+        path = tmp_path / "bulk.csv"
+        write_csv_rows(str(path), schema, rows)
+        report = db.execute(f"INSERT INTO t CSV INFILE '{path}'")
+        assert report.rows == 40
+        query = rows[5]["embedding"]
+        result = db.execute(
+            f"SELECT id, label FROM t ORDER BY "
+            f"L2Distance(embedding, {vector_sql(query)}) LIMIT 1"
+        )
+        assert result.rows[0] == (5, "l1")
+
+    @given(
+        n=st.integers(min_value=1, max_value=25),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_roundtrip_property(self, tmp_path_factory, n, seed):
+        """write_csv_rows . read_csv_rows is the identity on valid rows."""
+        schema = make_schema()
+        gen = np.random.default_rng(seed)
+        rows = [
+            {"id": i, "label": f"w{int(gen.integers(5))}",
+             "score": round(float(gen.random()), 6),
+             "embedding": gen.normal(size=4).astype(np.float32)}
+            for i in range(n)
+        ]
+        path = tmp_path_factory.mktemp("csv") / "x.csv"
+        write_csv_rows(str(path), schema, rows)
+        parsed = read_csv_rows(str(path), schema)
+        assert len(parsed) == n
+        for original, loaded in zip(rows, parsed):
+            assert loaded["id"] == original["id"]
+            assert loaded["label"] == original["label"]
+            assert loaded["score"] == pytest.approx(original["score"])
+            np.testing.assert_allclose(
+                loaded["embedding"], original["embedding"], rtol=1e-5
+            )

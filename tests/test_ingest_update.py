@@ -1,0 +1,121 @@
+"""Tests for realtime UPDATE/DELETE via multi-versioning."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import TableSchema
+from repro.ingest.update import apply_delete, apply_update
+from repro.ingest.writer import IngestConfig, SegmentWriter
+from repro.sqlparser.parser import parse_statement
+from repro.storage.lsm import SegmentManager
+from repro.storage.objectstore import ObjectStore
+from repro.vindex.registry import IndexSpec
+
+
+@pytest.fixture
+def table(clock, cost):
+    store = ObjectStore(clock, cost)
+    catalog = Catalog()
+    ddl = parse_statement(
+        "CREATE TABLE t (id UInt64, label String, embedding Array(Float32))"
+    )
+    schema = TableSchema.from_ddl(
+        ddl.name, ddl.columns, index_spec=IndexSpec(index_type="FLAT", dim=4)
+    )
+    entry = catalog.create_table(schema)
+    manager = SegmentManager()
+    writer = SegmentWriter(
+        entry, manager, store, clock, cost_model=cost,
+        config=IngestConfig(max_segment_rows=25),
+    )
+    rng = np.random.default_rng(0)
+    writer.ingest_rows(
+        [
+            {"id": i, "label": ["x", "y"][i % 2],
+             "embedding": rng.normal(size=4).astype(np.float32)}
+            for i in range(50)
+        ]
+    )
+    return manager, writer
+
+
+def where(text):
+    return parse_statement(f"SELECT id FROM t WHERE {text}").where
+
+
+class TestDelete:
+    def test_delete_marks_rows(self, table):
+        manager, _ = table
+        result = apply_delete(manager, where("id < 10"))
+        assert result.deleted_rows == 10
+        assert manager.alive_rows() == 40
+
+    def test_delete_idempotent(self, table):
+        manager, _ = table
+        apply_delete(manager, where("id < 10"))
+        second = apply_delete(manager, where("id < 10"))
+        assert second.deleted_rows == 0
+        assert second.matched_rows == 0
+
+    def test_delete_all(self, table):
+        manager, _ = table
+        result = apply_delete(manager, None)
+        assert result.deleted_rows == 50
+        assert manager.alive_rows() == 0
+
+    def test_delete_string_predicate(self, table):
+        manager, _ = table
+        result = apply_delete(manager, where("label = 'x'"))
+        assert result.deleted_rows == 25
+
+
+class TestUpdate:
+    def test_update_creates_new_version(self, table):
+        manager, writer = table
+        segments_before = len(manager)
+        statement = parse_statement("UPDATE t SET label = 'new' WHERE id = 7")
+        result = apply_update(manager, writer, statement.assignments, statement.where)
+        assert result.matched_rows == 1
+        assert result.deleted_rows == 1
+        assert len(result.new_segment_ids) == 1
+        assert len(manager) == segments_before + 1
+        # Total alive rows unchanged: one dead + one new.
+        assert manager.alive_rows() == 50
+
+    def test_updated_value_visible(self, table):
+        manager, writer = table
+        statement = parse_statement("UPDATE t SET label = 'zzz' WHERE id = 3")
+        apply_update(manager, writer, statement.assignments, statement.where)
+        found = []
+        for segment in manager.segments():
+            bitmap = manager.bitmap(segment.segment_id)
+            ids = segment.scalar_column("id")
+            labels = segment.scalar_column("label")
+            for offset in range(segment.row_count):
+                if ids[offset] == 3 and not bitmap.is_deleted(offset):
+                    found.append(labels[offset])
+        assert found == ["zzz"]
+
+    def test_update_vector_column(self, table):
+        manager, writer = table
+        statement = parse_statement(
+            "UPDATE t SET embedding = [9.0, 9.0, 9.0, 9.0] WHERE id = 1"
+        )
+        result = apply_update(manager, writer, statement.assignments, statement.where)
+        new_segment = manager.segment(result.new_segment_ids[0])
+        np.testing.assert_allclose(new_segment.vectors()[0], [9, 9, 9, 9])
+
+    def test_update_expression_over_old_row(self, table):
+        manager, writer = table
+        statement = parse_statement("UPDATE t SET id = id + 1000 WHERE id = 5")
+        result = apply_update(manager, writer, statement.assignments, statement.where)
+        new_segment = manager.segment(result.new_segment_ids[0])
+        assert new_segment.scalar_column("id")[0] == 1005
+
+    def test_update_no_match(self, table):
+        manager, writer = table
+        statement = parse_statement("UPDATE t SET label = 'q' WHERE id = 9999")
+        result = apply_update(manager, writer, statement.assignments, statement.where)
+        assert result.matched_rows == 0
+        assert result.new_segment_ids == []

@@ -1,0 +1,97 @@
+"""Tests for the Equation (1)-(3) cost model."""
+
+import pytest
+
+from repro.planner.cost import (
+    CostInputs,
+    CostModelParams,
+    cost_plan_a,
+    cost_plan_b,
+    cost_plan_c,
+    plan_costs,
+)
+from repro.simulate.costmodel import DeviceCostModel
+
+
+@pytest.fixture
+def params():
+    return CostModelParams.from_device_model(DeviceCostModel(), dim=768)
+
+
+def inputs(n=1_000_000, s=0.5, k=100, beta=0.005, gamma=0.005):
+    return CostInputs(n=n, s=s, k=k, beta=beta, gamma=gamma)
+
+
+class TestEquations:
+    def test_plan_a_formula(self, params):
+        i = inputs(s=0.2)
+        expected = i.n * params.t0_per_row + i.s * i.n * params.c_d
+        assert cost_plan_a(i, params) == pytest.approx(expected)
+
+    def test_plan_b_formula(self, params):
+        i = inputs(s=0.5)
+        t0 = i.n * params.t0_per_row
+        scan = i.gamma * i.n * (1 / 0.5) * (params.c_p + 0.5 * params.c_c)
+        refine = params.sigma * i.k * params.c_d
+        assert cost_plan_b(i, params) == pytest.approx(t0 + scan + refine)
+
+    def test_plan_c_formula(self, params):
+        i = inputs(s=0.5)
+        scan = i.beta * i.n * (1 / 0.5) * params.c_c
+        refine = params.sigma * i.k * params.c_d
+        assert cost_plan_c(i, params) == pytest.approx(scan + refine)
+
+    def test_selectivity_floor_prevents_blowup(self, params):
+        i = inputs(s=0.0)
+        assert cost_plan_c(i, params) < float("inf")
+
+    def test_plan_costs_keys(self, params):
+        costs = plan_costs(inputs(), params)
+        assert set(costs) == {"A", "B", "C"}
+        assert all(v > 0 for v in costs.values())
+
+
+class TestCrossoverShapes:
+    """The qualitative regimes §V-B1 describes must fall out of the
+    equations: brute force at tiny pass rates, post-filter at high ones.
+    """
+
+    def test_brute_force_wins_at_tiny_pass_rate(self, params):
+        i = inputs(s=0.001)
+        costs = plan_costs(i, params)
+        # Variable part of A shrinks with s; compare A's distance work
+        # against C's amplified scan.
+        assert i.s * i.n * params.c_d < cost_plan_c(i, params)
+
+    def test_post_filter_wins_at_high_pass_rate(self, params):
+        costs = plan_costs(inputs(s=0.99), params)
+        assert costs["C"] < costs["A"]
+        assert costs["C"] < costs["B"]
+
+    def test_plan_a_monotone_in_s(self, params):
+        low = cost_plan_a(inputs(s=0.1), params)
+        high = cost_plan_a(inputs(s=0.9), params)
+        assert high > low
+
+    def test_plan_c_amplifies_as_s_drops(self, params):
+        cheap = cost_plan_c(inputs(s=0.9), params)
+        dear = cost_plan_c(inputs(s=0.05), params)
+        assert dear > cheap
+
+    def test_beta_scales_plan_c(self, params):
+        narrow = cost_plan_c(inputs(beta=0.001), params)
+        wide = cost_plan_c(inputs(beta=0.1), params)
+        assert wide > narrow
+
+
+class TestParams:
+    def test_from_device_model_dimension_scaling(self):
+        cost = DeviceCostModel()
+        small = CostModelParams.from_device_model(cost, 64)
+        big = CostModelParams.from_device_model(cost, 1536)
+        assert big.c_d > small.c_d
+        assert big.c_c == small.c_c  # ADC cost independent of dim
+
+    def test_sigma_passthrough(self):
+        params = CostModelParams.from_device_model(DeviceCostModel(), 64, sigma=3.0)
+        assert params.sigma == 3.0

@@ -1,0 +1,175 @@
+"""Tests for logical plan binding."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.schema import TableSchema
+from repro.errors import BindError, PlannerError
+from repro.planner.logical import bind_select
+from repro.sqlparser.ast_nodes import ColumnDef
+from repro.sqlparser.parser import parse_statement
+from repro.vindex.registry import IndexSpec
+
+
+@pytest.fixture
+def schema():
+    return TableSchema.from_ddl(
+        "docs",
+        [
+            ColumnDef("id", "UInt64"),
+            ColumnDef("label", "String"),
+            ColumnDef("embedding", "Array", ("Float32",)),
+        ],
+        index_spec=IndexSpec(index_type="HNSW", dim=4, column="embedding"),
+    )
+
+
+def bind(sql, schema):
+    return bind_select(parse_statement(sql), schema)
+
+
+VEC = "[1.0, 0.0, 0.0, 0.0]"
+
+
+class TestVectorPattern:
+    def test_detects_hybrid_query(self, schema):
+        plan = bind(
+            f"SELECT id, dist FROM docs WHERE label = 'a' "
+            f"ORDER BY L2Distance(embedding, {VEC}) AS dist LIMIT 10",
+            schema,
+        )
+        assert plan.is_vector_query
+        assert plan.is_hybrid
+        assert plan.k == 10
+        assert plan.distance.metric == "l2"
+        np.testing.assert_array_equal(plan.distance.query_vector, [1, 0, 0, 0])
+        assert plan.scalar_predicate is not None
+
+    def test_pure_vector_query(self, schema):
+        plan = bind(
+            f"SELECT id FROM docs ORDER BY L2Distance(embedding, {VEC}) LIMIT 5",
+            schema,
+        )
+        assert plan.is_vector_query and not plan.is_hybrid
+
+    def test_scalar_only_query(self, schema):
+        plan = bind("SELECT id FROM docs WHERE label = 'a' LIMIT 3", schema)
+        assert not plan.is_vector_query
+        assert plan.k == 3
+
+    def test_distance_alias_resolves_in_projection(self, schema):
+        plan = bind(
+            f"SELECT id, dist FROM docs "
+            f"ORDER BY L2Distance(embedding, {VEC}) AS dist LIMIT 5",
+            schema,
+        )
+        assert "__distance__" in plan.output_columns
+        assert plan.wants_distance_output
+        idx = plan.output_columns.index("__distance__")
+        assert plan.output_aliases[idx] == "dist"
+
+    def test_star_expansion(self, schema):
+        plan = bind("SELECT * FROM docs LIMIT 1", schema)
+        assert plan.output_columns == ["id", "label", "embedding"]
+        assert plan.needs_vector_column
+
+    def test_vector_column_pruned_when_not_projected(self, schema):
+        plan = bind(
+            f"SELECT id FROM docs ORDER BY L2Distance(embedding, {VEC}) LIMIT 5",
+            schema,
+        )
+        assert not plan.needs_vector_column
+
+    def test_cosine_metric(self, schema):
+        plan = bind(
+            f"SELECT id FROM docs ORDER BY CosineDistance(embedding, {VEC}) LIMIT 5",
+            schema,
+        )
+        assert plan.distance.metric == "cosine"
+
+
+class TestRangeExtraction:
+    def test_range_conjunct_extracted(self, schema):
+        plan = bind(
+            f"SELECT id FROM docs WHERE label = 'a' "
+            f"AND L2Distance(embedding, {VEC}) < 0.5 "
+            f"ORDER BY L2Distance(embedding, {VEC}) LIMIT 10",
+            schema,
+        )
+        assert plan.distance_range == 0.5
+        # The remaining predicate no longer mentions the distance.
+        from repro.executor.pipeline import referenced_columns
+
+        assert "embedding" not in referenced_columns(plan.scalar_predicate)
+
+    def test_pure_range_query(self, schema):
+        plan = bind(
+            f"SELECT id FROM docs WHERE L2Distance(embedding, {VEC}) < 0.7",
+            schema,
+        )
+        assert plan.distance is not None
+        assert plan.k is None
+        assert plan.distance_range == 0.7
+
+    def test_flipped_range_literal(self, schema):
+        plan = bind(
+            f"SELECT id FROM docs WHERE 0.3 > L2Distance(embedding, {VEC})",
+            schema,
+        )
+        assert plan.distance_range == 0.3
+
+    def test_mismatched_range_vector_rejected(self, schema):
+        with pytest.raises(PlannerError):
+            bind(
+                f"SELECT id FROM docs "
+                f"WHERE L2Distance(embedding, [0.0, 1.0, 0.0, 0.0]) < 0.5 "
+                f"ORDER BY L2Distance(embedding, {VEC}) LIMIT 5",
+                schema,
+            )
+
+
+class TestValidation:
+    def test_vector_order_requires_limit(self, schema):
+        with pytest.raises(PlannerError):
+            bind(f"SELECT id FROM docs ORDER BY L2Distance(embedding, {VEC})", schema)
+
+    def test_desc_distance_rejected(self, schema):
+        with pytest.raises(PlannerError):
+            bind(
+                f"SELECT id FROM docs ORDER BY L2Distance(embedding, {VEC}) DESC LIMIT 5",
+                schema,
+            )
+
+    def test_extra_sort_keys_rejected(self, schema):
+        with pytest.raises(PlannerError):
+            bind(
+                f"SELECT id FROM docs "
+                f"ORDER BY L2Distance(embedding, {VEC}), id LIMIT 5",
+                schema,
+            )
+
+    def test_wrong_query_dim_rejected(self, schema):
+        with pytest.raises(BindError):
+            bind(
+                "SELECT id FROM docs ORDER BY L2Distance(embedding, [1.0, 2.0]) LIMIT 5",
+                schema,
+            )
+
+    def test_distance_on_scalar_column_rejected(self, schema):
+        with pytest.raises(BindError):
+            bind(
+                f"SELECT id FROM docs ORDER BY L2Distance(label, {VEC}) LIMIT 5",
+                schema,
+            )
+
+    def test_unknown_projection_column(self, schema):
+        with pytest.raises(BindError):
+            bind("SELECT ghost FROM docs LIMIT 1", schema)
+
+    def test_offset_carried(self, schema):
+        plan = bind(
+            f"SELECT id FROM docs ORDER BY L2Distance(embedding, {VEC}) "
+            f"LIMIT 10 OFFSET 5",
+            schema,
+        )
+        assert plan.offset == 5

@@ -1,0 +1,74 @@
+"""Tests for the parameterized plan cache."""
+
+import pytest
+
+from repro.planner.optimizer import ExecutionStrategy, PhysicalPlan
+from repro.planner.plancache import PlanCache, parameterize
+
+
+def dummy_plan():
+    return PhysicalPlan(logical=None, strategy=ExecutionStrategy.POST_FILTER)
+
+
+class TestParameterize:
+    def test_literals_abstracted(self):
+        a = parameterize("SELECT id FROM t WHERE x < 5 LIMIT 10")
+        b = parameterize("SELECT id FROM t WHERE x < 999 LIMIT 20")
+        assert a == b
+
+    def test_string_literals_abstracted(self):
+        a = parameterize("SELECT id FROM t WHERE label = 'cat'")
+        b = parameterize("SELECT id FROM t WHERE label = 'dog'")
+        assert a == b
+
+    def test_vector_literals_collapse(self):
+        a = parameterize("SELECT id FROM t ORDER BY L2Distance(v, [1.0, 2.0]) LIMIT 5")
+        b = parameterize(
+            "SELECT id FROM t ORDER BY L2Distance(v, [9.9, 8.8, 7.7, 6.6]) LIMIT 5"
+        )
+        assert a == b
+
+    def test_structure_distinguished(self):
+        a = parameterize("SELECT id FROM t WHERE x < 5")
+        b = parameterize("SELECT id FROM t WHERE x > 5")
+        assert a != b
+
+    def test_different_columns_distinguished(self):
+        assert parameterize("SELECT a FROM t") != parameterize("SELECT b FROM t")
+
+    def test_keyword_case_normalized(self):
+        assert parameterize("select id from t") == parameterize("SELECT id FROM t")
+
+
+class TestPlanCache:
+    def test_lookup_miss_then_hit(self):
+        cache = PlanCache()
+        sql = "SELECT id FROM t WHERE x < 5 LIMIT 10"
+        assert cache.lookup(sql) is None
+        cache.store(sql, dummy_plan())
+        hit = cache.lookup("SELECT id FROM t WHERE x < 77 LIMIT 3")
+        assert hit is not None
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_capacity_eviction(self):
+        cache = PlanCache(capacity=2)
+        cache.store("SELECT a FROM t", dummy_plan())
+        cache.store("SELECT b FROM t", dummy_plan())
+        cache.store("SELECT c FROM t", dummy_plan())
+        assert cache.lookup("SELECT a FROM t") is None
+        assert cache.lookup("SELECT c FROM t") is not None
+
+    def test_invalidate(self):
+        cache = PlanCache()
+        cache.store("SELECT a FROM t", dummy_plan())
+        cache.invalidate()
+        assert cache.lookup("SELECT a FROM t") is None
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+    def test_len(self):
+        cache = PlanCache()
+        cache.store("SELECT a FROM t", dummy_plan())
+        assert len(cache) == 1

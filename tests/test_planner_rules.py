@@ -1,0 +1,83 @@
+"""Tests for rule-based optimizations."""
+
+import pytest
+
+from repro.catalog.schema import TableSchema
+from repro.planner.logical import bind_select
+from repro.planner.rules import apply_rules, topk_pushdown
+from repro.sqlparser.ast_nodes import ColumnDef
+from repro.sqlparser.parser import parse_statement
+from repro.vindex.registry import IndexSpec
+
+VEC = "[1.0, 0.0, 0.0, 0.0]"
+
+
+@pytest.fixture
+def schema():
+    return TableSchema.from_ddl(
+        "docs",
+        [
+            ColumnDef("id", "UInt64"),
+            ColumnDef("embedding", "Array", ("Float32",)),
+        ],
+        index_spec=IndexSpec(index_type="HNSW", dim=4, column="embedding"),
+    )
+
+
+def bound(sql, schema):
+    return bind_select(parse_statement(sql), schema)
+
+
+class TestTopKPushdown:
+    def test_offset_folded_into_k(self, schema):
+        plan = bound(
+            f"SELECT id FROM docs ORDER BY L2Distance(embedding, {VEC}) "
+            f"LIMIT 10 OFFSET 4",
+            schema,
+        )
+        pushed = topk_pushdown(plan)
+        assert pushed.k == 14
+        assert pushed.offset == 4
+
+    def test_no_offset_unchanged(self, schema):
+        plan = bound(
+            f"SELECT id FROM docs ORDER BY L2Distance(embedding, {VEC}) LIMIT 10",
+            schema,
+        )
+        assert topk_pushdown(plan) is plan
+
+    def test_scalar_query_untouched(self, schema):
+        plan = bound("SELECT id FROM docs LIMIT 5 OFFSET 2", schema)
+        assert topk_pushdown(plan).k == 5
+
+
+class TestRulePipeline:
+    def test_apply_rules_idempotent_on_simple_plan(self, schema):
+        plan = bound(
+            f"SELECT id FROM docs ORDER BY L2Distance(embedding, {VEC}) LIMIT 5",
+            schema,
+        )
+        once = apply_rules(plan)
+        twice = apply_rules(once)
+        assert twice.k == once.k
+        assert twice.offset == once.offset
+
+    def test_custom_rule_list(self, schema):
+        plan = bound("SELECT id FROM docs LIMIT 5", schema)
+        marker = []
+
+        def spy(p):
+            marker.append(True)
+            return p
+
+        apply_rules(plan, rules=[spy])
+        assert marker == [True]
+
+    def test_vector_pruning_keeps_projected_vector(self, schema):
+        plan = bound(
+            f"SELECT embedding FROM docs "
+            f"ORDER BY L2Distance(embedding, {VEC}) LIMIT 5",
+            schema,
+        )
+        out = apply_rules(plan)
+        assert out.needs_vector_column

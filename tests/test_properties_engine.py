@@ -1,0 +1,163 @@
+"""Metamorphic and safety properties of the whole engine.
+
+These tests check invariants that must hold regardless of internal
+layout decisions:
+
+* **segmentation invariance** — query answers don't depend on how rows
+  were cut into segments;
+* **pruning safety** — scalar segment pruning never discards a segment
+  containing a matching row;
+* **update linearity** — a query after UPDATE sees exactly the new
+  values, never both versions;
+* **determinism** — identical engines given identical inputs return
+  identical answers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.database import BlendHouse
+from repro.partition.pruning import prune_segments_scalar
+from repro.sqlparser.parser import parse_statement
+from repro.sqlparser.expressions import evaluate_predicate
+
+from tests.helpers import vector_sql
+
+
+def build_db(max_segment_rows, n=300, dim=8, seed=0, index="FLAT"):
+    db = BlendHouse()
+    db.execute(
+        f"CREATE TABLE t (id UInt64, grp Int64, val Int64, "
+        f"embedding Array(Float32), INDEX ann embedding TYPE {index}('DIM={dim}'))"
+    )
+    db.table("t").writer.config.max_segment_rows = max_segment_rows
+    rng = np.random.default_rng(seed)
+    db.insert_columns(
+        "t",
+        {
+            "id": np.arange(n, dtype=np.uint64),
+            "grp": rng.integers(0, 5, size=n).astype(np.int64),
+            "val": rng.integers(0, 100, size=n).astype(np.int64),
+        },
+        rng.normal(size=(n, dim)).astype(np.float32),
+    )
+    return db
+
+
+class TestSegmentationInvariance:
+    @pytest.mark.parametrize("rows_per_segment", [40, 100, 1000])
+    def test_vector_query_invariant(self, rows_per_segment):
+        db = build_db(rows_per_segment)
+        reference = build_db(1000)
+        query = np.full(8, 0.2, dtype=np.float32)
+        sql = (
+            f"SELECT id, dist FROM t WHERE val < 70 ORDER BY "
+            f"L2Distance(embedding, {vector_sql(query)}) AS dist LIMIT 10"
+        )
+        assert [r[0] for r in db.execute(sql).rows] == [
+            r[0] for r in reference.execute(sql).rows
+        ]
+
+    @pytest.mark.parametrize("rows_per_segment", [40, 100])
+    def test_scalar_query_invariant(self, rows_per_segment):
+        db = build_db(rows_per_segment)
+        reference = build_db(1000)
+        sql = "SELECT id FROM t WHERE grp = 2 AND val >= 50 LIMIT 1000"
+        assert sorted(r[0] for r in db.execute(sql).rows) == sorted(
+            r[0] for r in reference.execute(sql).rows
+        )
+
+    def test_strategy_invariance(self):
+        """All three hybrid strategies agree on an exact index."""
+        db = build_db(60)
+        query = np.full(8, -0.1, dtype=np.float32)
+        sql = (
+            f"SELECT id FROM t WHERE val < 60 ORDER BY "
+            f"L2Distance(embedding, {vector_sql(query)}) AS dist LIMIT 8"
+        )
+        answers = {}
+        for strategy in ("brute_force", "pre_filter", "post_filter"):
+            db.execute(f"SET forced_strategy = '{strategy}'")
+            answers[strategy] = [r[0] for r in db.execute(sql).rows]
+        db.execute("SET forced_strategy = 'auto'")
+        assert answers["brute_force"] == answers["pre_filter"] == answers["post_filter"]
+
+
+class TestPruningSafety:
+    @given(
+        low=st.integers(min_value=0, max_value=99),
+        width=st.integers(min_value=0, max_value=99),
+        seed=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_pruned_segments_hold_no_matches(self, low, width, seed):
+        """A segment discarded by scalar pruning contains no matching row."""
+        db = build_db(30, n=200, seed=seed)
+        manager = db.table("t").manager
+        high = low + width
+        predicate = parse_statement(
+            f"SELECT id FROM t WHERE val >= {low} AND val <= {high}"
+        ).where
+        kept_ids = {m.segment_id for m in
+                    prune_segments_scalar(manager.metas(), predicate)}
+        for segment in manager.segments():
+            if segment.segment_id in kept_ids:
+                continue
+            columns = {"val": segment.scalar_column("val")}
+            mask = evaluate_predicate(predicate, columns, segment.row_count)
+            assert not mask.any(), (
+                f"pruned segment {segment.segment_id} had matching rows"
+            )
+
+
+class TestUpdateLinearity:
+    def test_exactly_one_version_visible(self):
+        db = build_db(50)
+        for round_number in range(3):
+            db.execute(f"UPDATE t SET val = {round_number + 200} WHERE id = 7")
+            result = db.execute("SELECT id, val FROM t WHERE id = 7 LIMIT 10")
+            assert len(result) == 1
+            assert result.rows[0][1] == round_number + 200
+
+    def test_delete_then_reinsert(self):
+        db = build_db(50)
+        db.execute("DELETE FROM t WHERE id = 3")
+        assert len(db.execute("SELECT id FROM t WHERE id = 3 LIMIT 5")) == 0
+        vec = vector_sql(np.zeros(8))
+        db.execute(f"INSERT INTO t (id, grp, val, embedding) VALUES (3, 0, 1, {vec})")
+        result = db.execute("SELECT id, val FROM t WHERE id = 3 LIMIT 5")
+        assert [tuple(r) for r in result.rows] == [(3, 1)]
+
+    def test_compaction_preserves_answers(self):
+        db = build_db(30)
+        db.execute("UPDATE t SET val = 999 WHERE grp = 1")
+        query = np.full(8, 0.3, dtype=np.float32)
+        sql = (
+            f"SELECT id FROM t WHERE val = 999 ORDER BY "
+            f"L2Distance(embedding, {vector_sql(query)}) AS dist LIMIT 20"
+        )
+        before = [r[0] for r in db.execute(sql).rows]
+        db.compact("t")
+        after = [r[0] for r in db.execute(sql).rows]
+        assert before == after
+
+
+class TestDeterminism:
+    def test_identical_engines_identical_answers(self):
+        a = build_db(60, seed=4, index="HNSW")
+        b = build_db(60, seed=4, index="HNSW")
+        query = np.full(8, 0.15, dtype=np.float32)
+        sql = (
+            f"SELECT id, dist FROM t ORDER BY "
+            f"L2Distance(embedding, {vector_sql(query)}) AS dist LIMIT 10"
+        )
+        assert a.execute(sql).rows == b.execute(sql).rows
+
+    def test_simulated_time_deterministic(self):
+        a = build_db(60, seed=4)
+        b = build_db(60, seed=4)
+        sql = "SELECT id FROM t WHERE val < 10 LIMIT 100"
+        a.execute(sql)
+        b.execute(sql)
+        assert a.clock.now == pytest.approx(b.clock.now)

@@ -1,0 +1,112 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.simulate.clock import SimulatedClock
+
+
+class TestAdvance:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimulatedClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock(-1.0)
+
+    def test_advance_accumulates(self):
+        clock = SimulatedClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == pytest.approx(2.0)
+
+    def test_advance_returns_new_time(self):
+        clock = SimulatedClock()
+        assert clock.advance(3.0) == pytest.approx(3.0)
+
+    def test_negative_advance_rejected(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_advance_to_future(self):
+        clock = SimulatedClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimulatedClock(10.0)
+        clock.advance_to(5.0)
+        assert clock.now == 10.0
+
+    def test_elapsed_since(self):
+        clock = SimulatedClock()
+        mark = clock.now
+        clock.advance(2.5)
+        assert clock.elapsed_since(mark) == pytest.approx(2.5)
+
+
+class TestPause:
+    def test_paused_drops_charges(self):
+        clock = SimulatedClock()
+        with clock.paused():
+            clock.advance(100.0)
+        assert clock.now == 0.0
+
+    def test_nested_pause(self):
+        clock = SimulatedClock()
+        with clock.paused():
+            with clock.paused():
+                clock.advance(1.0)
+            clock.advance(1.0)
+        assert clock.now == 0.0
+        clock.advance(1.0)
+        assert clock.now == 1.0
+
+    def test_frozen_flag(self):
+        clock = SimulatedClock()
+        assert not clock.frozen
+        with clock.paused():
+            assert clock.frozen
+        assert not clock.frozen
+
+
+class TestCapture:
+    def test_capture_accumulates_without_advancing(self):
+        clock = SimulatedClock()
+        with clock.capturing() as captured:
+            clock.advance(2.0)
+            clock.advance(3.0)
+        assert captured.total == pytest.approx(5.0)
+        assert clock.now == 0.0
+
+    def test_nested_capture_inner_wins(self):
+        clock = SimulatedClock()
+        with clock.capturing() as outer:
+            clock.advance(1.0)
+            with clock.capturing() as inner:
+                clock.advance(2.0)
+            clock.advance(3.0)
+        assert inner.total == pytest.approx(2.0)
+        assert outer.total == pytest.approx(4.0)
+
+    def test_pause_inside_capture_drops(self):
+        clock = SimulatedClock()
+        with clock.capturing() as captured:
+            with clock.paused():
+                clock.advance(9.0)
+        assert captured.total == 0.0
+
+
+class TestReset:
+    def test_reset(self):
+        clock = SimulatedClock()
+        clock.advance(4.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+    def test_reset_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().reset(-1)

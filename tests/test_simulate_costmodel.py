@@ -1,0 +1,72 @@
+"""Tests for the device cost model."""
+
+import pytest
+
+from repro.simulate.costmodel import DeviceCostModel
+
+
+@pytest.fixture
+def cost() -> DeviceCostModel:
+    return DeviceCostModel()
+
+
+class TestTransferCosts:
+    def test_ram_faster_than_disk(self, cost):
+        assert cost.ram_read(1 << 20) < cost.disk_read(1 << 20)
+
+    def test_disk_faster_than_object_store(self, cost):
+        assert cost.disk_read(1 << 20) < cost.object_store_read(1 << 20)
+
+    def test_object_store_latency_dominates_small_reads(self, cost):
+        # A 1-byte GET should cost essentially the first-byte latency.
+        assert cost.object_store_read(1) == pytest.approx(
+            cost.object_store_latency_s, rel=1e-3
+        )
+
+    def test_bandwidth_term_scales_linearly(self, cost):
+        small = cost.object_store_read(1 << 20)
+        large = cost.object_store_read(10 << 20)
+        gained = large - small
+        expected = 9 * (1 << 20) / cost.object_store_bandwidth_bps
+        assert gained == pytest.approx(expected, rel=1e-6)
+
+    def test_negative_size_rejected(self, cost):
+        with pytest.raises(ValueError):
+            cost.ram_read(-1)
+
+    def test_write_equals_read_model(self, cost):
+        assert cost.object_store_write(1024) == pytest.approx(
+            cost.object_store_read(1024)
+        )
+
+
+class TestComputeCosts:
+    def test_distance_cost_scales_with_dim_and_count(self, cost):
+        assert cost.distance_cost(100, 64) == pytest.approx(
+            100 * 64 * cost.distance_flop_s
+        )
+
+    def test_adc_cheaper_than_full_distance(self, cost):
+        # ADC over m=8 codes vs exact distance at dim 768.
+        assert cost.adc_cost(1000, 8) < cost.distance_cost(1000, 768)
+
+    def test_rpc_cost_has_round_trip_floor(self, cost):
+        assert cost.rpc_call(0, 0) == pytest.approx(cost.rpc_round_trip_s)
+
+    def test_kmeans_cost_positive(self, cost):
+        assert cost.kmeans_cost(1000, 32, 16, 10) > 0
+
+
+class TestScaled:
+    def test_scaled_overrides_one_constant(self, cost):
+        slow = cost.scaled(object_store_latency_s=1.0)
+        assert slow.object_store_latency_s == 1.0
+        assert slow.ram_latency_s == cost.ram_latency_s
+
+    def test_scaled_does_not_mutate_original(self, cost):
+        cost.scaled(ram_latency_s=1.0)
+        assert cost.ram_latency_s != 1.0
+
+    def test_frozen(self, cost):
+        with pytest.raises(Exception):
+            cost.ram_latency_s = 2.0

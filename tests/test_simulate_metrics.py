@@ -1,0 +1,127 @@
+"""Tests for metric collectors."""
+
+import pytest
+
+from repro.simulate.metrics import (
+    LatencyRecorder,
+    MetricRegistry,
+    ThroughputWindow,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([5.0], 99) == 5.0
+
+    def test_median_of_two(self):
+        assert percentile([1.0, 3.0], 50) == pytest.approx(2.0)
+
+    def test_endpoints(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 4.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+
+class TestLatencyRecorder:
+    def test_record_and_count(self):
+        rec = LatencyRecorder()
+        rec.record(0.1)
+        rec.extend([0.2, 0.3])
+        assert rec.count == 3
+        assert rec.total() == pytest.approx(0.6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-0.1)
+
+    def test_qps(self):
+        rec = LatencyRecorder()
+        rec.extend([0.1] * 10)
+        assert rec.qps() == pytest.approx(10.0)
+
+    def test_qps_empty_is_zero(self):
+        assert LatencyRecorder().qps() == 0.0
+
+    def test_summary(self):
+        rec = LatencyRecorder()
+        rec.extend([0.1, 0.2, 0.3, 0.4, 0.5])
+        summary = rec.summary()
+        assert summary.count == 5
+        assert summary.mean == pytest.approx(0.3)
+        assert summary.p50 == pytest.approx(0.3)
+        assert summary.minimum == 0.1
+        assert summary.maximum == 0.5
+
+    def test_summary_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().summary()
+
+    def test_clear(self):
+        rec = LatencyRecorder()
+        rec.record(1.0)
+        rec.clear()
+        assert rec.count == 0
+
+    def test_summary_as_dict(self):
+        rec = LatencyRecorder()
+        rec.extend([0.1, 0.2])
+        d = rec.summary().as_dict()
+        assert set(d) == {"count", "mean", "p50", "p95", "p99", "min", "max"}
+
+
+class TestThroughputWindow:
+    def test_series_buckets(self):
+        window = ThroughputWindow(1.0)
+        for t in (0.1, 0.2, 1.5, 2.9):
+            window.record(t)
+        series = window.series()
+        assert series == [(0.0, 2.0), (1.0, 1.0), (2.0, 1.0)]
+
+    def test_gap_buckets_reported_as_zero(self):
+        window = ThroughputWindow(1.0)
+        window.record(0.5)
+        window.record(3.5)
+        series = dict(window.series())
+        assert series[1.0] == 0.0 and series[2.0] == 0.0
+
+    def test_empty(self):
+        assert ThroughputWindow(1.0).series() == []
+
+    def test_bad_bucket_width(self):
+        with pytest.raises(ValueError):
+            ThroughputWindow(0)
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputWindow(1.0).record(-1)
+
+
+class TestMetricRegistry:
+    def test_counters(self):
+        registry = MetricRegistry()
+        registry.incr("a")
+        registry.incr("a", 4)
+        assert registry.count("a") == 5
+        assert registry.count("missing") == 0
+
+    def test_latency_recorders(self):
+        registry = MetricRegistry()
+        registry.record_latency("q", 0.2)
+        assert registry.latency("q").count == 1
+
+    def test_reset(self):
+        registry = MetricRegistry()
+        registry.incr("a")
+        registry.record_latency("q", 0.1)
+        registry.reset()
+        assert registry.count("a") == 0
+        assert registry.latency("q").count == 0

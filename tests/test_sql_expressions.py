@@ -1,0 +1,161 @@
+"""Tests for batch expression evaluation, including hypothesis checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import BindError
+from repro.sqlparser.expressions import evaluate_expression, evaluate_predicate
+from repro.sqlparser.parser import parse_statement
+
+
+def predicate(text):
+    return parse_statement(f"SELECT id FROM t WHERE {text}").where
+
+
+@pytest.fixture
+def columns():
+    return {
+        "a": np.array([1, 5, 10, 50, 100]),
+        "b": np.array([2.0, 4.0, 6.0, 8.0, 10.0]),
+        "name": ["alpha", "beta", "42gamma", "delta", "beta"],
+    }
+
+
+class TestComparisons:
+    def test_numeric_ops(self, columns):
+        cases = {
+            "a = 5": [0, 1, 0, 0, 0],
+            "a != 5": [1, 0, 1, 1, 1],
+            "a < 10": [1, 1, 0, 0, 0],
+            "a <= 10": [1, 1, 1, 0, 0],
+            "a > 10": [0, 0, 0, 1, 1],
+            "a >= 10": [0, 0, 1, 1, 1],
+        }
+        for text, expected in cases.items():
+            mask = evaluate_predicate(predicate(text), columns, 5)
+            np.testing.assert_array_equal(mask, np.array(expected, dtype=bool), text)
+
+    def test_column_to_column(self, columns):
+        mask = evaluate_predicate(predicate("a < b"), columns, 5)
+        np.testing.assert_array_equal(mask, [True, False, False, False, False])
+
+    def test_string_equality(self, columns):
+        mask = evaluate_predicate(predicate("name = 'beta'"), columns, 5)
+        np.testing.assert_array_equal(mask, [False, True, False, False, True])
+
+    def test_arithmetic(self, columns):
+        mask = evaluate_predicate(predicate("a + 1 = 6"), columns, 5)
+        np.testing.assert_array_equal(mask, [False, True, False, False, False])
+
+    def test_modulo(self, columns):
+        mask = evaluate_predicate(predicate("a % 2 = 0"), columns, 5)
+        np.testing.assert_array_equal(mask, [False, False, True, True, True])
+
+
+class TestLogical:
+    def test_and_or_not(self, columns):
+        mask = evaluate_predicate(
+            predicate("a < 10 AND b > 3 OR NOT name = 'beta'"), columns, 5
+        )
+        np.testing.assert_array_equal(mask, [True, True, True, True, False])
+
+    def test_between(self, columns):
+        mask = evaluate_predicate(predicate("a BETWEEN 5 AND 50"), columns, 5)
+        np.testing.assert_array_equal(mask, [False, True, True, True, False])
+
+    def test_in_list_numeric(self, columns):
+        mask = evaluate_predicate(predicate("a IN (1, 100)"), columns, 5)
+        np.testing.assert_array_equal(mask, [True, False, False, False, True])
+
+    def test_in_list_strings(self, columns):
+        mask = evaluate_predicate(
+            predicate("name IN ('alpha', 'delta')"), columns, 5
+        )
+        np.testing.assert_array_equal(mask, [True, False, False, True, False])
+
+    def test_not_in(self, columns):
+        mask = evaluate_predicate(predicate("a NOT IN (1, 100)"), columns, 5)
+        np.testing.assert_array_equal(mask, [False, True, True, True, False])
+
+
+class TestStringMatching:
+    def test_like_contains(self, columns):
+        mask = evaluate_predicate(predicate("name LIKE '%eta%'"), columns, 5)
+        np.testing.assert_array_equal(mask, [False, True, False, False, True])
+
+    def test_like_anchored(self, columns):
+        mask = evaluate_predicate(predicate("name LIKE 'a%'"), columns, 5)
+        np.testing.assert_array_equal(mask, [True, False, False, False, False])
+
+    def test_like_underscore(self, columns):
+        mask = evaluate_predicate(predicate("name LIKE 'bet_'"), columns, 5)
+        np.testing.assert_array_equal(mask, [False, True, False, False, True])
+
+    def test_regexp(self, columns):
+        mask = evaluate_predicate(predicate("name REGEXP '^[0-9]'"), columns, 5)
+        np.testing.assert_array_equal(mask, [False, False, True, False, False])
+
+    def test_pattern_must_be_literal(self, columns):
+        with pytest.raises(BindError):
+            evaluate_predicate(predicate("name LIKE name"), columns, 5)
+
+
+class TestFunctions:
+    def test_distance_function(self):
+        columns = {"v": np.eye(3, dtype=np.float32)}
+        expr = predicate("L2Distance(v, [1.0, 0.0, 0.0]) < 1.0")
+        mask = evaluate_predicate(expr, columns, 3)
+        np.testing.assert_array_equal(mask, [True, False, False])
+
+    def test_toyyyymmdd_identity(self):
+        columns = {"d": np.array([20240101, 20240102])}
+        expr = predicate("toYYYYMMDD(d) = 20240102")
+        mask = evaluate_predicate(expr, columns, 2)
+        np.testing.assert_array_equal(mask, [False, True])
+
+    def test_abs(self, columns):
+        mask = evaluate_predicate(predicate("abs(a - 10) <= 5"), columns, 5)
+        np.testing.assert_array_equal(mask, [False, True, True, False, False])
+
+    def test_length(self, columns):
+        mask = evaluate_predicate(predicate("length(name) = 4"), columns, 5)
+        np.testing.assert_array_equal(mask, [False, True, False, False, True])
+
+    def test_unknown_function_rejected(self, columns):
+        with pytest.raises(BindError):
+            evaluate_predicate(predicate("mystery(a) = 1"), columns, 5)
+
+    def test_unknown_column_rejected(self, columns):
+        with pytest.raises(BindError):
+            evaluate_predicate(predicate("ghost = 1"), columns, 5)
+
+
+class TestProperties:
+    @given(
+        values=st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=40),
+        threshold=st.integers(min_value=-100, max_value=100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_range_predicate_matches_python(self, values, threshold):
+        columns = {"x": np.array(values)}
+        mask = evaluate_predicate(predicate(f"x < {threshold}"), columns, len(values))
+        expected = [v < threshold for v in values]
+        np.testing.assert_array_equal(mask, expected)
+
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=30),
+        low=st.integers(min_value=0, max_value=20),
+        high=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_between_equals_two_comparisons(self, values, low, high):
+        columns = {"x": np.array(values)}
+        n = len(values)
+        between = evaluate_predicate(
+            predicate(f"x BETWEEN {low} AND {high}"), columns, n
+        )
+        composed = evaluate_predicate(
+            predicate(f"x >= {low} AND x <= {high}"), columns, n
+        )
+        np.testing.assert_array_equal(between, composed)

@@ -1,0 +1,96 @@
+"""Tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sqlparser.lexer import TokenType, tokenize
+
+
+def kinds(sql):
+    return [t.type for t in tokenize(sql)]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select FROM Where")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type == TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_preserve_case(self):
+        assert values("MyTable my_col") == ["MyTable", "my_col"]
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].type == TokenType.EOF
+        assert tokenize("SELECT")[-1].type == TokenType.EOF
+
+    def test_positions_recorded(self):
+        tokens = tokenize("a  b")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert values("42") == ["42"]
+
+    def test_float(self):
+        assert values("3.14") == ["3.14"]
+
+    def test_scientific(self):
+        assert values("1e-5 2.5E3") == ["1e-5", "2.5E3"]
+
+    def test_leading_dot(self):
+        assert values(".5") == [".5"]
+
+
+class TestStrings:
+    def test_single_quoted(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].type == TokenType.STRING
+        assert tokens[0].value == "hello world"
+
+    def test_double_quoted(self):
+        assert tokenize('"abc"')[0].value == "abc"
+
+    def test_escaped_quote(self):
+        assert tokenize(r"'it\'s'")[0].value == "it's"
+
+    def test_unterminated_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+
+class TestOperatorsAndPunctuation:
+    def test_two_char_operators(self):
+        assert values("<= >= != <>") == ["<=", ">=", "!=", "<>"]
+
+    def test_brackets_and_parens(self):
+        tokens = tokenize("([1,2])")
+        assert [t.type for t in tokens[:-1]] == [
+            TokenType.LPAREN, TokenType.LBRACKET, TokenType.NUMBER,
+            TokenType.COMMA, TokenType.NUMBER, TokenType.RBRACKET,
+            TokenType.RPAREN,
+        ]
+
+    def test_comment_skipped(self):
+        assert values("SELECT -- a comment\n1") == ["SELECT", "1"]
+
+    def test_unexpected_char(self):
+        with pytest.raises(ParseError) as info:
+            tokenize("SELECT @")
+        assert info.value.position == 7
+
+    def test_semicolon(self):
+        assert tokenize(";")[0].type == TokenType.SEMICOLON
+
+
+class TestTokenHelpers:
+    def test_is_keyword(self):
+        token = tokenize("SELECT")[0]
+        assert token.is_keyword("SELECT")
+        assert token.is_keyword("SELECT", "FROM")
+        assert not token.is_keyword("FROM")

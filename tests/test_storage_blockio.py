@@ -1,0 +1,53 @@
+"""Tests for columnar block encoding."""
+
+import numpy as np
+import pytest
+
+from repro.storage.blockio import block_nbytes, decode_block, encode_block
+
+
+class TestRoundtrip:
+    def test_float_array(self):
+        arr = np.arange(12, dtype=np.float32).reshape(3, 4)
+        out = decode_block(encode_block(arr))
+        assert out.dtype == np.float32
+        np.testing.assert_array_equal(out, arr)
+
+    def test_int_array(self):
+        arr = np.array([1, 2, 3], dtype=np.int64)
+        np.testing.assert_array_equal(decode_block(encode_block(arr)), arr)
+
+    def test_string_list(self):
+        values = ["a", "bb", "日本語"]
+        assert decode_block(encode_block(values)) == values
+
+    def test_dict_payload(self):
+        payload = {"a": 1, "b": (2, 3)}
+        assert decode_block(encode_block(payload)) == payload
+
+    def test_empty_array(self):
+        arr = np.empty((0, 8), dtype=np.float32)
+        out = decode_block(encode_block(arr))
+        assert out.shape == (0, 8)
+
+
+class TestErrors:
+    def test_truncated_payload(self):
+        with pytest.raises(ValueError):
+            decode_block(b"XY")
+
+    def test_unknown_header(self):
+        with pytest.raises(ValueError):
+            decode_block(b"ZZZZdata")
+
+
+class TestSizes:
+    def test_array_size_close_to_nbytes(self):
+        arr = np.zeros((100, 16), dtype=np.float32)
+        estimated = block_nbytes(arr)
+        assert arr.nbytes <= estimated <= arr.nbytes + 256
+
+    def test_size_matches_encoded_length_for_strings(self):
+        values = ["hello"] * 50
+        # Same pickle plus the 4-byte header.
+        assert block_nbytes(values) == len(encode_block(values))

@@ -1,0 +1,151 @@
+"""Tests for the cache tiers."""
+
+import pytest
+
+from repro.errors import ObjectNotFoundError
+from repro.storage.cache import HierarchicalIndexCache, LRUCache, SplitIndexCache
+from repro.storage.localdisk import LocalDisk
+
+
+class TestLRUCache:
+    def test_put_get(self):
+        cache = LRUCache(100)
+        cache.put("a", b"xxx")
+        assert cache.get("a") == b"xxx"
+
+    def test_miss_returns_none_and_counts(self):
+        cache = LRUCache(100)
+        assert cache.get("ghost") is None
+        assert cache.misses == 1
+
+    def test_eviction_order(self):
+        cache = LRUCache(10)
+        cache.put("a", b"xxxx")
+        cache.put("b", b"xxxx")
+        cache.get("a")
+        cache.put("c", b"xxxx")  # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_oversize_refused(self):
+        cache = LRUCache(4)
+        assert not cache.put("big", b"xxxxx")
+
+    def test_overwrite_updates_usage(self):
+        cache = LRUCache(100)
+        cache.put("a", b"x" * 50)
+        cache.put("a", b"x" * 10)
+        assert cache.used_bytes == 10
+
+    def test_explicit_evict(self):
+        cache = LRUCache(100)
+        cache.put("a", b"x")
+        assert cache.evict("a")
+        assert not cache.evict("a")
+
+    def test_custom_size_fn(self):
+        cache = LRUCache(10, size_of=lambda value: 5)
+        cache.put("a", object())
+        cache.put("b", object())
+        cache.put("c", object())
+        assert len(cache) == 2
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestSplitIndexCache:
+    def test_spaces_are_independent(self):
+        cache = SplitIndexCache(50, 50)
+        cache.put_meta("k", b"m" * 40)
+        cache.put_data("k", b"d" * 40)
+        assert cache.get_meta("k") == b"m" * 40
+        assert cache.get_data("k") == b"d" * 40
+
+    def test_data_churn_does_not_evict_meta(self):
+        cache = SplitIndexCache(100, 50)
+        cache.put_meta("hot", b"m" * 10)
+        for i in range(20):
+            cache.put_data(f"d{i}", b"d" * 40)
+        assert cache.get_meta("hot") is not None
+
+    def test_clear(self):
+        cache = SplitIndexCache(50, 50)
+        cache.put_meta("a", b"x")
+        cache.put_data("b", b"y")
+        cache.clear()
+        assert cache.get_meta("a") is None
+        assert cache.get_data("b") is None
+
+
+class _FakeIndex:
+    """Deserialized stand-in exposing memory_bytes like a real index."""
+
+    def __init__(self, payload: bytes) -> None:
+        self.payload = payload
+
+    def memory_bytes(self) -> int:
+        return len(self.payload)
+
+
+@pytest.fixture
+def hierarchy(clock, cost, metrics, store):
+    memory = SplitIndexCache(1 << 20, 1 << 20)
+    disk = LocalDisk(clock, 1 << 20, cost, metrics)
+    cache = HierarchicalIndexCache(
+        clock, memory, disk, store, deserialize=_FakeIndex,
+        cost_model=cost, metrics=metrics,
+    )
+    return cache, disk, store
+
+
+class TestHierarchicalCache:
+    def test_remote_then_disk_then_memory(self, hierarchy, metrics):
+        cache, disk, store = hierarchy
+        store.put("idx", b"payload")
+        _, tier1 = cache.get("idx")
+        assert tier1 == "remote"
+        cache.clear_memory()
+        _, tier2 = cache.get("idx")
+        assert tier2 == "disk"
+        _, tier3 = cache.get("idx")
+        assert tier3 == "memory"
+
+    def test_missing_everywhere_raises(self, hierarchy):
+        cache, _, _ = hierarchy
+        with pytest.raises(ObjectNotFoundError):
+            cache.get("ghost")
+
+    def test_preload_populates_memory(self, hierarchy):
+        cache, _, store = hierarchy
+        store.put("idx", b"payload")
+        assert cache.preload("idx")
+        assert cache.contains_in_memory("idx")
+
+    def test_preload_missing_returns_false(self, hierarchy):
+        cache, _, _ = hierarchy
+        assert not cache.preload("ghost")
+
+    def test_invalidate_drops_all_tiers(self, hierarchy):
+        cache, disk, store = hierarchy
+        store.put("idx", b"payload")
+        cache.get("idx")
+        cache.invalidate("idx")
+        assert not cache.contains_in_memory("idx")
+        assert "idx" not in disk
+
+    def test_tier_costs_ordered(self, hierarchy, clock, cost):
+        cache, _, store = hierarchy
+        store.put("idx", b"p" * 10_000)
+        t0 = clock.now
+        cache.get("idx")
+        remote_cost = clock.now - t0
+        cache.clear_memory()
+        t1 = clock.now
+        cache.get("idx")
+        disk_cost = clock.now - t1
+        t2 = clock.now
+        cache.get("idx")
+        memory_cost = clock.now - t2
+        assert memory_cost < disk_cost < remote_cost

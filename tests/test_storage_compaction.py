@@ -1,0 +1,137 @@
+"""Tests for background compaction."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import TableSchema
+from repro.ingest.writer import IngestConfig, SegmentWriter
+from repro.sqlparser.parser import parse_statement
+from repro.storage.compaction import CompactionConfig, Compactor
+from repro.storage.lsm import SegmentManager
+from repro.storage.objectstore import ObjectStore
+from repro.vindex.registry import IndexSpec
+
+
+@pytest.fixture
+def setup(clock, cost):
+    store = ObjectStore(clock, cost)
+    catalog = Catalog()
+    ddl = parse_statement(
+        "CREATE TABLE t (id UInt64, embedding Array(Float32), "
+        "INDEX ai embedding TYPE FLAT('DIM=8'))"
+    )
+    schema = TableSchema.from_ddl(
+        ddl.name, ddl.columns, index_spec=IndexSpec(index_type="FLAT", dim=8)
+    )
+    entry = catalog.create_table(schema)
+    manager = SegmentManager()
+    writer = SegmentWriter(
+        entry, manager, store, clock, cost_model=cost,
+        config=IngestConfig(max_segment_rows=50),
+    )
+    compactor = Compactor(
+        entry=entry, manager=manager, store=store, clock=clock, cost=cost,
+        config=CompactionConfig(fanout=3),
+    )
+    return entry, manager, writer, compactor, store
+
+
+def ingest_batches(writer, batches: int, rows_per_batch: int = 40, dim: int = 8):
+    rng = np.random.default_rng(0)
+    counter = 0
+    for _ in range(batches):
+        rows = [
+            {"id": counter + i, "embedding": rng.normal(size=dim)}
+            for i in range(rows_per_batch)
+        ]
+        counter += rows_per_batch
+        writer.ingest_rows(rows)
+
+
+class TestFanoutTrigger:
+    def test_merges_when_group_reaches_fanout(self, setup):
+        entry, manager, writer, compactor, _ = setup
+        ingest_batches(writer, 3)
+        assert len(manager) == 3
+        results = compactor.run_once()
+        assert len(results) == 1
+        assert results[0].rows_out == 120
+        assert len(manager) == 1
+        merged = manager.segments()[0]
+        assert merged.meta.level == 1
+
+    def test_no_merge_below_fanout(self, setup):
+        _, manager, writer, compactor, _ = setup
+        ingest_batches(writer, 2)
+        assert compactor.run_once() == []
+        assert len(manager) == 2
+
+    def test_compact_all_converges(self, setup):
+        _, manager, writer, compactor, _ = setup
+        ingest_batches(writer, 9)
+        compactor.compact_all()
+        assert compactor.run_once() == []
+        assert manager.alive_rows() == 9 * 40
+
+
+class TestDeadRowCleanup:
+    def test_dirty_segment_rewritten(self, setup):
+        _, manager, writer, compactor, _ = setup
+        ingest_batches(writer, 1)
+        sid = manager.segment_ids()[0]
+        manager.mark_deleted(sid, list(range(20)))  # 50% dead
+        results = compactor.run_once()
+        assert len(results) == 1
+        assert results[0].dropped_dead_rows == 20
+        assert manager.deleted_rows() == 0
+        assert manager.alive_rows() == 20
+
+    def test_clean_single_segment_untouched(self, setup):
+        _, manager, writer, compactor, _ = setup
+        ingest_batches(writer, 1)
+        assert compactor.run_once() == []
+
+
+class TestIndexLifecycle:
+    def test_merged_segment_gets_fresh_index(self, setup):
+        _, manager, writer, compactor, store = setup
+        ingest_batches(writer, 3)
+        compactor.run_once()
+        merged_id = manager.segment_ids()[0]
+        key = manager.index_key(merged_id)
+        assert key is not None
+        assert key in store
+
+    def test_retired_objects_deleted_from_store(self, setup):
+        _, manager, writer, compactor, store = setup
+        ingest_batches(writer, 3)
+        old_ids = manager.segment_ids()
+        old_keys = [manager.index_key(s) for s in old_ids]
+        compactor.run_once()
+        for key in old_keys:
+            assert key not in store
+
+    def test_retire_hooks_fired(self, setup):
+        _, manager, writer, compactor, _ = setup
+        ingest_batches(writer, 3)
+        retired = []
+        compactor.on_retire(lambda sid, key: retired.append(sid))
+        compactor.run_once()
+        assert len(retired) == 3
+
+
+class TestCosts:
+    def test_compaction_charges_simulated_time(self, setup, clock):
+        _, _, writer, compactor, _ = setup
+        ingest_batches(writer, 3)
+        before = clock.now
+        results = compactor.run_once()
+        assert clock.now > before
+        assert results[0].simulated_seconds > 0
+
+    def test_entry_segment_ids_updated(self, setup):
+        entry, manager, writer, compactor, _ = setup
+        ingest_batches(writer, 3)
+        compactor.run_once()
+        assert set(entry.segment_ids) == set(manager.segment_ids())

@@ -1,0 +1,82 @@
+"""Tests for measured auto-tuning during compaction."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import TableSchema
+from repro.ingest.writer import IngestConfig, SegmentWriter
+from repro.sqlparser.parser import parse_statement
+from repro.storage.compaction import CompactionConfig, Compactor
+from repro.storage.lsm import SegmentManager
+from repro.storage.objectstore import ObjectStore
+from repro.vindex.registry import IndexSpec, deserialize_index
+
+
+def build_world(clock, cost, auto_tune, index_type="IVFFLAT", batches=4, rows=80):
+    store = ObjectStore(clock, cost)
+    catalog = Catalog()
+    ddl = parse_statement("CREATE TABLE t (id UInt64, embedding Array(Float32))")
+    schema = TableSchema.from_ddl(
+        ddl.name, ddl.columns, index_spec=IndexSpec(index_type=index_type, dim=8)
+    )
+    entry = catalog.create_table(schema)
+    manager = SegmentManager()
+    writer = SegmentWriter(
+        entry, manager, store, clock, cost_model=cost,
+        config=IngestConfig(max_segment_rows=rows),
+    )
+    rng = np.random.default_rng(0)
+    for batch in range(batches):
+        writer.ingest_rows(
+            [{"id": batch * rows + i, "embedding": rng.normal(size=8)}
+             for i in range(rows)]
+        )
+    compactor = Compactor(
+        entry=entry, manager=manager, store=store, clock=clock, cost=cost,
+        config=CompactionConfig(fanout=4, auto_tune_ivf=auto_tune),
+    )
+    return manager, compactor, store
+
+
+class TestAutoTune:
+    def test_auto_tune_fires_for_ivf(self, clock, cost):
+        manager, compactor, _ = build_world(clock, cost, auto_tune=True)
+        results = compactor.run_once()
+        assert results
+        assert compactor.metrics.count("compaction.auto_tunes") == 1
+
+    def test_auto_tune_charges_simulated_time(self, clock, cost):
+        manager, compactor, _ = build_world(clock, cost, auto_tune=True)
+        untuned_clock = type(clock)()
+        manager2, compactor2, _ = build_world(untuned_clock, cost, auto_tune=False)
+        before, before2 = clock.now, untuned_clock.now
+        compactor.run_once()
+        compactor2.run_once()
+        tuned_cost = clock.now - before
+        plain_cost = untuned_clock.now - before2
+        assert tuned_cost > plain_cost
+
+    def test_tuned_index_still_correct(self, clock, cost):
+        manager, compactor, store = build_world(clock, cost, auto_tune=True)
+        compactor.run_once()
+        sid = manager.segment_ids()[0]
+        segment = manager.segment(sid)
+        index = deserialize_index(store.get(manager.index_key(sid)))
+        query = segment.vectors()[7]
+        result = index.search_with_filter(query, 1, nprobe=index.nlist)
+        assert result.ids[0] == 7  # row offsets within the merged segment
+
+    def test_graph_indexes_untouched(self, clock, cost):
+        manager, compactor, _ = build_world(
+            clock, cost, auto_tune=True, index_type="FLAT"
+        )
+        compactor.run_once()
+        assert compactor.metrics.count("compaction.auto_tunes") == 0
+
+    def test_tiny_merges_skip_tuning(self, clock, cost):
+        manager, compactor, _ = build_world(
+            clock, cost, auto_tune=True, batches=4, rows=10
+        )
+        compactor.run_once()
+        assert compactor.metrics.count("compaction.auto_tunes") == 0

@@ -1,0 +1,84 @@
+"""Tests for the local-disk cache tier."""
+
+import pytest
+
+from repro.errors import ObjectNotFoundError
+from repro.storage.localdisk import LocalDisk
+
+
+@pytest.fixture
+def disk(clock, cost, metrics) -> LocalDisk:
+    return LocalDisk(clock, capacity_bytes=100, cost_model=cost, metrics=metrics)
+
+
+class TestWriteRead:
+    def test_roundtrip(self, disk):
+        assert disk.write("k", b"payload")
+        assert disk.read("k") == b"payload"
+
+    def test_miss_raises(self, disk):
+        with pytest.raises(ObjectNotFoundError):
+            disk.read("nope")
+
+    def test_oversize_rejected(self, disk):
+        assert not disk.write("big", b"x" * 101)
+        assert "big" not in disk
+
+    def test_capacity_validation(self, clock):
+        with pytest.raises(ValueError):
+            LocalDisk(clock, capacity_bytes=0)
+
+
+class TestEviction:
+    def test_lru_eviction_order(self, disk):
+        disk.write("a", b"x" * 40)
+        disk.write("b", b"x" * 40)
+        disk.read("a")              # refresh a
+        disk.write("c", b"x" * 40)  # evicts b (LRU)
+        assert "a" in disk
+        assert "b" not in disk
+        assert "c" in disk
+
+    def test_used_bytes_tracked(self, disk):
+        disk.write("a", b"x" * 30)
+        disk.write("b", b"x" * 30)
+        assert disk.used_bytes == 60
+        disk.evict("a")
+        assert disk.used_bytes == 30
+
+    def test_overwrite_replaces_size(self, disk):
+        disk.write("a", b"x" * 50)
+        disk.write("a", b"x" * 10)
+        assert disk.used_bytes == 10
+
+    def test_clear(self, disk):
+        disk.write("a", b"x")
+        disk.clear()
+        assert disk.used_bytes == 0
+        assert "a" not in disk
+
+    def test_evict_missing_returns_false(self, disk):
+        assert not disk.evict("ghost")
+
+
+class TestCostsAndMetrics:
+    def test_read_charges_clock(self, disk, clock):
+        disk.write("k", b"x" * 50)
+        before = clock.now
+        disk.read("k")
+        assert clock.now > before
+
+    def test_hit_miss_counters(self, disk, metrics):
+        disk.write("k", b"x")
+        disk.read("k")
+        with pytest.raises(ObjectNotFoundError):
+            disk.read("ghost")
+        assert metrics.count("localdisk.hits") == 1
+        assert metrics.count("localdisk.misses") == 1
+
+    def test_disk_cheaper_than_object_store(self, clock, cost):
+        disk = LocalDisk(clock, capacity_bytes=10_000, cost_model=cost)
+        disk.write("k", b"x" * 1000)
+        before = clock.now
+        disk.read("k")
+        assert clock.now - before < cost.object_store_read(1000)

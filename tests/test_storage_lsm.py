@@ -1,0 +1,92 @@
+"""Tests for the LSM segment manager."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SegmentError
+from repro.storage.lsm import SegmentManager, index_storage_key
+from repro.storage.segment import Segment
+
+
+def seg(segment_id: str, n: int = 10, level: int = 0) -> Segment:
+    rng = np.random.default_rng(hash(segment_id) % (2**31))
+    return Segment.from_columns(
+        segment_id, "t",
+        {"id": np.arange(n, dtype=np.uint64)},
+        rng.normal(size=(n, 4)).astype(np.float32),
+        level=level,
+    )
+
+
+class TestCommitDrop:
+    def test_commit_and_lookup(self):
+        manager = SegmentManager()
+        manager.commit(seg("s1"), index_key="idx/s1")
+        assert "s1" in manager
+        assert manager.segment("s1").segment_id == "s1"
+        assert manager.index_key("s1") == "idx/s1"
+
+    def test_duplicate_commit_rejected(self):
+        manager = SegmentManager()
+        manager.commit(seg("s1"))
+        with pytest.raises(SegmentError):
+            manager.commit(seg("s1"))
+
+    def test_drop(self):
+        manager = SegmentManager()
+        manager.commit(seg("s1"))
+        manager.drop("s1")
+        assert "s1" not in manager
+        with pytest.raises(SegmentError):
+            manager.drop("s1")
+
+    def test_commit_order_preserved(self):
+        manager = SegmentManager()
+        for name in ("b", "a", "c"):
+            manager.commit(seg(name))
+        assert manager.segment_ids() == ["b", "a", "c"]
+
+    def test_set_index_key(self):
+        manager = SegmentManager()
+        manager.commit(seg("s1"))
+        assert manager.index_key("s1") is None
+        manager.set_index_key("s1", "idx/s1")
+        assert manager.index_key("s1") == "idx/s1"
+
+
+class TestRowAccounting:
+    def test_alive_and_deleted_counts(self):
+        manager = SegmentManager()
+        manager.commit(seg("s1", n=10))
+        manager.commit(seg("s2", n=5))
+        assert manager.total_rows() == 15
+        manager.mark_deleted("s1", [0, 1, 2])
+        assert manager.alive_rows() == 12
+        assert manager.deleted_rows() == 3
+
+    def test_bitmap_accessible(self):
+        manager = SegmentManager()
+        manager.commit(seg("s1", n=4))
+        manager.mark_deleted("s1", [3])
+        assert manager.bitmap("s1").is_deleted(3)
+
+    def test_unknown_segment_raises(self):
+        manager = SegmentManager()
+        with pytest.raises(SegmentError):
+            manager.bitmap("ghost")
+
+
+class TestLevels:
+    def test_segments_by_level(self):
+        manager = SegmentManager()
+        manager.commit(seg("a", level=0))
+        manager.commit(seg("b", level=0))
+        manager.commit(seg("c", level=1))
+        by_level = manager.segments_by_level()
+        assert len(by_level[0]) == 2
+        assert len(by_level[1]) == 1
+
+
+class TestIndexKey:
+    def test_index_storage_key_format(self):
+        assert index_storage_key("t/seg-1", "HNSW") == "indexes/t/seg-1/HNSW"

@@ -1,0 +1,112 @@
+"""Tests for the simulated object store."""
+
+import pytest
+
+from repro.errors import ObjectNotFoundError
+from repro.storage.objectstore import ObjectStore
+
+
+class TestPutGet:
+    def test_roundtrip(self, store):
+        store.put("a/b", b"hello")
+        assert store.get("a/b") == b"hello"
+
+    def test_missing_key_raises(self, store):
+        with pytest.raises(ObjectNotFoundError):
+            store.get("nope")
+
+    def test_empty_key_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.put("", b"x")
+
+    def test_overwrite(self, store):
+        store.put("k", b"one")
+        store.put("k", b"two")
+        assert store.get("k") == b"two"
+
+    def test_payload_copied(self, store):
+        payload = bytearray(b"abc")
+        store.put("k", bytes(payload))
+        payload[0] = ord("x")
+        assert store.get("k") == b"abc"
+
+
+class TestCostCharging:
+    def test_put_charges_clock(self, clock, store):
+        before = clock.now
+        store.put("k", b"x" * 1024)
+        assert clock.now > before
+
+    def test_get_charges_latency_plus_bandwidth(self, clock, cost, store):
+        store.put("k", b"x" * (1 << 20))
+        before = clock.now
+        store.get("k")
+        charged = clock.now - before
+        assert charged == pytest.approx(cost.object_store_read(1 << 20))
+
+    def test_get_range_charges_only_slice(self, clock, cost, store):
+        store.put("k", b"x" * (1 << 20))
+        before = clock.now
+        window = store.get_range("k", 0, 1024)
+        assert len(window) == 1024
+        charged = clock.now - before
+        assert charged < cost.object_store_read(1 << 20)
+
+    def test_exists_charges_one_latency(self, clock, cost, store):
+        store.put("k", b"x")
+        before = clock.now
+        assert store.exists("k")
+        assert clock.now - before == pytest.approx(cost.object_store_latency_s)
+
+
+class TestRangeReads:
+    def test_get_range_content(self, store):
+        store.put("k", b"0123456789")
+        assert store.get_range("k", 2, 3) == b"234"
+
+    def test_get_range_past_end_truncates(self, store):
+        store.put("k", b"0123")
+        assert store.get_range("k", 2, 100) == b"23"
+
+    def test_get_range_missing_raises(self, store):
+        with pytest.raises(ObjectNotFoundError):
+            store.get_range("nope", 0, 1)
+
+    def test_negative_offset_rejected(self, store):
+        store.put("k", b"x")
+        with pytest.raises(ValueError):
+            store.get_range("k", -1, 1)
+
+
+class TestManagement:
+    def test_delete(self, store):
+        store.put("k", b"x")
+        assert store.delete("k")
+        assert not store.delete("k")
+        assert "k" not in store
+
+    def test_list_keys_prefix(self, store):
+        store.put("seg/1", b"a")
+        store.put("seg/2", b"b")
+        store.put("idx/1", b"c")
+        assert store.list_keys("seg/") == ["seg/1", "seg/2"]
+
+    def test_size_of(self, store):
+        store.put("k", b"x" * 7)
+        assert store.size_of("k") == 7
+
+    def test_size_of_missing_raises(self, store):
+        with pytest.raises(ObjectNotFoundError):
+            store.size_of("ghost")
+
+    def test_total_bytes_and_len(self, store):
+        store.put("a", b"12")
+        store.put("b", b"345")
+        assert store.total_bytes() == 5
+        assert len(store) == 2
+
+    def test_metrics_counters(self, store, metrics):
+        store.put("k", b"x")
+        store.get("k")
+        assert metrics.count("objectstore.put") == 1
+        assert metrics.count("objectstore.get") == 1

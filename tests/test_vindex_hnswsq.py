@@ -1,0 +1,78 @@
+"""Tests for scalar-quantized HNSW."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexParameterError
+from repro.vindex.hnsw import HNSWIndex
+from repro.vindex.hnswsq import HNSWSQIndex
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(3)
+    return rng.normal(size=(400, 16)).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def index(data):
+    idx = HNSWSQIndex(dim=16, m=8, ef_construction=64, seed=0)
+    idx.add_with_ids(data, np.arange(data.shape[0]))
+    return idx
+
+
+class TestQuantization:
+    def test_lazy_training_on_first_add(self, data):
+        idx = HNSWSQIndex(dim=16)
+        assert not idx.is_trained
+        idx.add_with_ids(data[:50], np.arange(50))
+        assert idx.is_trained
+
+    def test_explicit_train_empty_rejected(self):
+        idx = HNSWSQIndex(dim=4)
+        with pytest.raises(IndexParameterError):
+            idx.train(np.empty((0, 4), dtype=np.float32))
+
+    def test_memory_smaller_than_full_precision(self, data):
+        full = HNSWIndex(dim=16, m=8, ef_construction=64, seed=0)
+        full.add_with_ids(data, np.arange(data.shape[0]))
+        sq = HNSWSQIndex(dim=16, m=8, ef_construction=64, seed=0)
+        sq.add_with_ids(data, np.arange(data.shape[0]))
+        assert sq.memory_bytes() < full.memory_bytes()
+
+    def test_constant_dimension_handled(self):
+        data = np.ones((50, 4), dtype=np.float32)
+        data[:, 0] = np.arange(50)
+        idx = HNSWSQIndex(dim=4, m=4, ef_construction=32)
+        idx.add_with_ids(data, np.arange(50))
+        result = idx.search_with_filter(data[10], 1, ef_search=32)
+        assert result.ids[0] == 10
+
+
+class TestQuality:
+    def test_recall_close_to_full_precision(self, index, data):
+        rng = np.random.default_rng(4)
+        queries = data[rng.choice(len(data), 25, replace=False)] + 0.05
+        hits = 0
+        for q in queries:
+            want = set(np.argsort(np.linalg.norm(data - q, axis=1))[:10].tolist())
+            got = index.search_with_filter(q, 10, ef_search=80)
+            hits += len(set(got.ids.tolist()) & want)
+        assert hits / 250 > 0.75  # lossy, but far above random
+
+    def test_quantization_error_visible(self, index, data):
+        # Distances come from decoded vectors, so self-distance is small
+        # but generally nonzero.
+        result = index.search_with_filter(data[7], 1, ef_search=64)
+        assert result.distances[0] < 0.5
+
+
+class TestPersistence:
+    def test_roundtrip(self, index, data):
+        from repro.vindex.registry import deserialize_index, serialize_index
+
+        restored = deserialize_index(serialize_index(index))
+        assert isinstance(restored, HNSWSQIndex)
+        a = index.search_with_filter(data[5], 5, ef_search=40)
+        b = restored.search_with_filter(data[5], 5, ef_search=40)
+        np.testing.assert_array_equal(a.ids, b.ids)

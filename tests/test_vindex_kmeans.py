@@ -1,0 +1,85 @@
+"""Tests for k-means."""
+
+import numpy as np
+import pytest
+
+from repro.vindex.kmeans import KMeansResult, assign_to_centroids, kmeans
+
+
+def blobs(k=4, per=50, dim=8, seed=0, spread=5.0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=spread, size=(k, dim)).astype(np.float32)
+    points = np.vstack(
+        [c + rng.normal(scale=0.2, size=(per, dim)).astype(np.float32) for c in centers]
+    )
+    return points, centers
+
+
+class TestFit:
+    def test_recovers_separated_clusters(self):
+        points, _ = blobs(k=4)
+        result = kmeans(points, 4, seed=1)
+        # Each true blob should map to exactly one fitted cluster.
+        for blob in range(4):
+            labels = result.assignments[blob * 50 : (blob + 1) * 50]
+            assert len(np.unique(labels)) == 1
+
+    def test_result_shapes(self):
+        points, _ = blobs()
+        result = kmeans(points, 4)
+        assert isinstance(result, KMeansResult)
+        assert result.centroids.shape == (4, 8)
+        assert result.assignments.shape == (200,)
+        assert result.inertia >= 0
+
+    def test_deterministic_under_seed(self):
+        points, _ = blobs()
+        a = kmeans(points, 4, seed=7)
+        b = kmeans(points, 4, seed=7)
+        np.testing.assert_array_equal(a.assignments, b.assignments)
+
+    def test_k_equals_n(self):
+        points = np.eye(5, dtype=np.float32)
+        result = kmeans(points, 5, seed=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-6)
+
+    def test_k_one(self):
+        points, _ = blobs()
+        result = kmeans(points, 1)
+        np.testing.assert_allclose(
+            result.centroids[0], points.mean(axis=0), rtol=1e-4, atol=1e-4
+        )
+
+    def test_duplicate_points_no_crash(self):
+        points = np.ones((20, 4), dtype=np.float32)
+        result = kmeans(points, 3, seed=0)
+        assert result.assignments.shape == (20,)
+
+
+class TestValidation:
+    def test_k_too_large(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 2), dtype=np.float32), 4)
+
+    def test_k_nonpositive(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 2), dtype=np.float32), 0)
+
+    def test_points_must_be_2d(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros(5, dtype=np.float32), 2)
+
+
+class TestAssign:
+    def test_assign_to_centroids_nearest(self):
+        centroids = np.array([[0, 0], [10, 10]], dtype=np.float32)
+        points = np.array([[1, 1], [9, 9], [0.2, -0.1]], dtype=np.float32)
+        np.testing.assert_array_equal(
+            assign_to_centroids(points, centroids), [0, 1, 0]
+        )
+
+    def test_assignments_match_inertia(self):
+        points, _ = blobs()
+        result = kmeans(points, 4, seed=3)
+        recomputed = assign_to_centroids(points, result.centroids)
+        np.testing.assert_array_equal(recomputed, result.assignments)

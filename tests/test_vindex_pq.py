@@ -1,0 +1,103 @@
+"""Tests for product quantization, including hypothesis invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import IndexNotTrainedError, IndexParameterError
+from repro.vindex.pq import ProductQuantizer
+
+
+@pytest.fixture
+def trained(vectors):
+    pq = ProductQuantizer(dim=16, m=4, nbits=8, seed=0)
+    pq.train(vectors)
+    return pq
+
+
+class TestConstruction:
+    def test_dim_divisible_by_m(self):
+        with pytest.raises(IndexParameterError):
+            ProductQuantizer(dim=10, m=3)
+
+    def test_nbits_restricted(self):
+        with pytest.raises(IndexParameterError):
+            ProductQuantizer(dim=8, m=2, nbits=6)
+
+    def test_ksub(self):
+        assert ProductQuantizer(dim=8, m=2, nbits=4).ksub == 16
+        assert ProductQuantizer(dim=8, m=2, nbits=8).ksub == 256
+
+
+class TestTrainEncode:
+    def test_untrained_encode_raises(self, vectors):
+        with pytest.raises(IndexNotTrainedError):
+            ProductQuantizer(dim=16, m=4).encode(vectors)
+
+    def test_codes_shape_and_dtype(self, trained, vectors):
+        codes = trained.encode(vectors)
+        assert codes.shape == (vectors.shape[0], 4)
+        assert codes.dtype == np.uint8
+
+    def test_decode_reconstruction_reduces_error(self, trained, vectors):
+        codes = trained.encode(vectors)
+        recon = trained.decode(codes)
+        err = np.linalg.norm(recon - vectors, axis=1).mean()
+        baseline = np.linalg.norm(vectors - vectors.mean(axis=0), axis=1).mean()
+        assert err < baseline  # better than the trivial one-centroid codec
+
+    def test_small_training_set(self):
+        pq = ProductQuantizer(dim=8, m=2, nbits=8)
+        tiny = np.random.default_rng(0).normal(size=(10, 8)).astype(np.float32)
+        pq.train(tiny)
+        codes = pq.encode(tiny)
+        assert codes.max() < 10  # only as many codewords as points
+
+
+class TestADC:
+    def test_adc_table_shape(self, trained, vectors):
+        table = trained.adc_table(vectors[0])
+        assert table.shape == (4, 256)
+        assert np.all(table >= 0)
+
+    def test_adc_matches_decoded_distance(self, trained, vectors):
+        query = vectors[0]
+        codes = trained.encode(vectors[:20])
+        table = trained.adc_table(query)
+        adc = trained.adc_distances(table, codes)
+        decoded = trained.decode(codes)
+        exact_sq = np.sum((decoded - query) ** 2, axis=1)
+        np.testing.assert_allclose(adc, exact_sq, rtol=1e-3, atol=1e-3)
+
+    def test_adc_ranks_near_neighbor_first(self, trained, vectors):
+        codes = trained.encode(vectors)
+        table = trained.adc_table(vectors[42])
+        adc = trained.adc_distances(table, codes)
+        assert int(np.argmin(adc)) == 42 or adc[42] <= np.partition(adc, 3)[3]
+
+
+class TestAccounting:
+    def test_code_bytes_per_vector(self):
+        assert ProductQuantizer(dim=16, m=8, nbits=8).code_bytes_per_vector() == 8.0
+        assert ProductQuantizer(dim=16, m=8, nbits=4).code_bytes_per_vector() == 4.0
+
+    def test_memory_bytes_trained(self, trained):
+        assert trained.memory_bytes() == trained.codebooks.nbytes
+
+    def test_payload_roundtrip(self, trained, vectors):
+        clone = ProductQuantizer.from_payload(trained.to_payload())
+        np.testing.assert_array_equal(clone.encode(vectors), trained.encode(vectors))
+
+
+class TestProperties:
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_encode_decode_idempotent(self, seed):
+        """decode(encode(x)) is a fixed point of encode."""
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(64, 8)).astype(np.float32)
+        pq = ProductQuantizer(dim=8, m=2, nbits=4, seed=seed)
+        pq.train(data)
+        codes = pq.encode(data)
+        recon = pq.decode(codes)
+        np.testing.assert_array_equal(pq.encode(recon), codes)
