@@ -65,11 +65,12 @@ def _scaled_latency(serving_enabled: bool) -> dict:
     for worker in cluster.read_vw.workers.values():
         worker.schedule_background_load = lambda key: None
     after_scale = run_pass()
+    exporter = cluster.export_metrics()
     return {
         "warm": warm,
         "after_scale": after_scale,
-        "serving_calls": cluster.metrics.count("worker.serving_calls"),
-        "brute_fallbacks": cluster.metrics.count("worker.brute_fallbacks"),
+        "serving_calls": exporter.counter("worker.serving_calls"),
+        "brute_fallbacks": exporter.counter("worker.brute_fallbacks"),
     }
 
 

@@ -82,10 +82,11 @@ def latencies():
     _freeze_background_loads(cluster)
     cluster.scale_to(3)
     _freeze_background_loads(cluster)
-    serving_before = cluster.metrics.count("worker.serving_calls")
+    # Read counters through the public exporter, as a client would.
+    serving_before = cluster.export_metrics().counter("worker.serving_calls")
     out["serving"] = run_pass().summary().mean
     out["_serving_calls"] = (
-        cluster.metrics.count("worker.serving_calls") - serving_before
+        cluster.export_metrics().counter("worker.serving_calls") - serving_before
     )
 
     cluster.read_vw.config.serving_enabled = False

@@ -70,12 +70,17 @@ def elasticity():
 
     run_phase(SCALE_STEPS[0])  # warmup (cold caches, first plans)
     run_phase(SCALE_STEPS[0])  # measured baseline phase
-    start_serving = cluster.metrics.count("worker.serving_calls")
+    # Consume counters through the public exporter dict, as a client would.
+    start_serving = cluster.export_metrics().as_dict()["counters"].get(
+        "worker.serving_calls", 0
+    )
     for workers in SCALE_STEPS[1:]:
         cluster.scale_to(workers)
         run_phase(workers)
-    serving_used = cluster.metrics.count("worker.serving_calls") - start_serving
-    return phase_qps, window.series(), serving_used
+    end_serving = cluster.export_metrics().as_dict()["counters"].get(
+        "worker.serving_calls", 0
+    )
+    return phase_qps, window.series(), end_serving - start_serving
 
 
 def test_fig18_elasticity(benchmark, elasticity):

@@ -1,14 +1,17 @@
 """Interactive SQL shell: ``python -m repro``.
 
 A minimal client for poking at a BlendHouse instance: type SQL
-statements (terminated by ``;``), get result tables back.  Extra
+statements (terminated by ``;``), get result tables back.  Prefix any
+SELECT with ``EXPLAIN`` to see the chosen physical plan, or with
+``EXPLAIN ANALYZE`` to run it and get the recorded span tree with
+per-operator simulated time and cache-tier attribution.  Extra
 dot-commands:
 
 =============== ====================================================
 ``.help``        this text
 ``.tables``      list tables
 ``.describe t``  table summary (segments, rows, index)
-``.metrics``     engine counters (cache hits, pruning, RPC, ...)
+``.metrics``     Prometheus-style metrics dump (counters, latencies)
 ``.compact t``   run compaction for table ``t``
 ``.seed t n d``  create demo table ``t`` with ``n`` random rows, dim ``d``
 ``.quit``        exit
@@ -22,7 +25,7 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
-from repro.core.database import BlendHouse
+from repro.core.database import BlendHouse, ExplainResult
 from repro.errors import BlendHouseError
 from repro.executor.pipeline import QueryResult
 
@@ -103,8 +106,7 @@ def handle_dot_command(db: BlendHouse, line: str) -> Optional[str]:
     if command == ".describe" and len(parts) == 2:
         return "\n".join(f"{k}: {v}" for k, v in db.describe(parts[1]).items())
     if command == ".metrics":
-        counters = sorted(db.metrics.counters.items())
-        return "\n".join(f"{k}: {v}" for k, v in counters) or "(no metrics yet)"
+        return db.export_metrics().render() or "(no metrics yet)"
     if command == ".compact" and len(parts) == 2:
         merges = db.compact(parts[1])
         return f"{len(merges)} merges"
@@ -116,6 +118,8 @@ def handle_dot_command(db: BlendHouse, line: str) -> Optional[str]:
 def execute_line(db: BlendHouse, sql: str) -> str:
     """Run one SQL statement and describe its effect."""
     result = db.execute(sql)
+    if isinstance(result, ExplainResult):
+        return result.render()
     if isinstance(result, QueryResult):
         return format_result(result)
     if hasattr(result, "rows") and hasattr(result, "segment_ids"):  # IngestReport

@@ -50,11 +50,13 @@ class ClusteredBlendHouse:
                 "read-vw", self.db.clock, self.db.cost, self.db.store,
                 replicas=replicas, workers_per_replica=read_workers,
                 metrics=self.db.metrics, config=warehouse_config,
+                tracer=self.db.tracer,
             )
         else:
             self.read_vw = VirtualWarehouse(
                 "read-vw", self.db.clock, self.db.cost, self.db.store,
                 metrics=self.db.metrics, config=warehouse_config,
+                tracer=self.db.tracer,
             )
             for _ in range(read_workers):
                 self.read_vw.add_worker()
@@ -76,6 +78,15 @@ class ClusteredBlendHouse:
     def metrics(self):
         """Shared metric registry."""
         return self.db.metrics
+
+    @property
+    def tracer(self):
+        """Shared tracer (spans from both write and read sides)."""
+        return self.db.tracer
+
+    def export_metrics(self):
+        """Exporter over the shared registry and tracer."""
+        return self.db.export_metrics()
 
     def insert_rows(self, table: str, rows: List[Dict[str, Any]]):
         """Ingest through the write path; wires compaction invalidation."""
@@ -131,6 +142,11 @@ class ClusteredBlendHouse:
         return self._execute_select(sql, statement)
 
     def _execute_select(self, sql: str, statement: Select) -> QueryResult:
+        db = self.db
+        with db.tracer.span("query", statement="Select", engine="cluster"):
+            return self._execute_select_traced(sql, statement)
+
+    def _execute_select_traced(self, sql: str, statement: Select) -> QueryResult:
         db = self.db
         runtime = db.table(statement.table)
         plan = db._plan_select(sql, statement)

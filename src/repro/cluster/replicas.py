@@ -24,6 +24,7 @@ from repro.cluster.warehouse import VirtualWarehouse, WarehouseConfig
 from repro.errors import NoWorkersError, WorkerUnavailableError
 from repro.executor.columnio import ColumnReader
 from repro.executor.pipeline import QueryResult
+from repro.observe.trace import Tracer
 from repro.planner.cost import CostModelParams
 from repro.planner.optimizer import PhysicalPlan
 from repro.simulate.clock import SimulatedClock
@@ -59,6 +60,7 @@ class ReplicatedWarehouse:
         metrics: Optional[MetricRegistry] = None,
         config: Optional[WarehouseConfig] = None,
         routing: str = "primary",
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if replicas < 1:
             raise ValueError("need at least one replica")
@@ -71,7 +73,7 @@ class ReplicatedWarehouse:
         for i in range(replicas):
             replica = VirtualWarehouse(
                 f"{name}-r{i}", clock, cost, store,
-                metrics=self.metrics, config=config,
+                metrics=self.metrics, config=config, tracer=tracer,
             )
             for _ in range(workers_per_replica):
                 replica.add_worker()

@@ -8,9 +8,10 @@ unreachable so fault-tolerance paths can be exercised.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional
 
 from repro.errors import WorkerUnavailableError
+from repro.observe.trace import Tracer, maybe_span
 from repro.simulate.clock import SimulatedClock
 from repro.simulate.costmodel import DeviceCostModel
 from repro.simulate.metrics import MetricRegistry
@@ -54,10 +55,12 @@ class RpcFabric:
         clock: SimulatedClock,
         cost: DeviceCostModel,
         metrics: MetricRegistry,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self._clock = clock
         self._cost = cost
         self._metrics = metrics
+        self._tracer = tracer
         self._endpoints: Dict[str, RpcEndpoint] = {}
 
     def endpoint(self, worker_id: str) -> RpcEndpoint:
@@ -94,6 +97,9 @@ class RpcFabric:
         if endpoint is None or not endpoint.reachable:
             self._metrics.incr("rpc.failures")
             raise WorkerUnavailableError(f"worker {target_id!r} is unreachable")
-        self._clock.advance(self._cost.rpc_call(request_bytes, response_bytes))
-        self._metrics.incr("rpc.calls")
-        return endpoint.invoke(method, *args, **kwargs)
+        with maybe_span(self._tracer, "rpc.call", target=target_id, method=method):
+            cost = self._cost.rpc_call(request_bytes, response_bytes)
+            self._clock.advance(cost)
+            self._metrics.incr("rpc.calls")
+            self._metrics.record_latency("rpc.latency", cost)
+            return endpoint.invoke(method, *args, **kwargs)

@@ -27,6 +27,7 @@ from repro.cluster.scheduler import SegmentScheduler
 from repro.cluster.worker import Worker
 from repro.errors import NoWorkersError, WorkerUnavailableError
 from repro.executor.columnio import ColumnReader
+from repro.observe.trace import Tracer, maybe_span
 from repro.executor.pipeline import (
     ExecContext,
     PartialResult,
@@ -68,6 +69,7 @@ class VirtualWarehouse:
         store: ObjectStore,
         metrics: Optional[MetricRegistry] = None,
         config: Optional[WarehouseConfig] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.name = name
         self.clock = clock
@@ -75,7 +77,8 @@ class VirtualWarehouse:
         self.store = store
         self.metrics = metrics or MetricRegistry()
         self.config = config or WarehouseConfig()
-        self.fabric = RpcFabric(clock, cost, self.metrics)
+        self.tracer = tracer
+        self.fabric = RpcFabric(clock, cost, self.metrics, tracer=tracer)
         self.scheduler = SegmentScheduler()
         self.workers: Dict[str, Worker] = {}
         # Fraction of warehouse compute consumed by co-located background
@@ -222,20 +225,29 @@ class VirtualWarehouse:
             worker = self.workers.get(worker_id)
             if worker is None or not worker.alive:
                 raise WorkerUnavailableError(f"worker {worker_id!r} is gone")
-            with self.clock.capturing() as captured:
-                ctx = ExecContext(
-                    clock=self.clock,
-                    cost=self.cost,
-                    params=params,
-                    reader=reader,
-                    resolve_index=self._resolver_for(worker, index_key_of),
-                    metrics=self.metrics,
-                )
-                for segment_id in segment_ids:
-                    segment = by_id[segment_id]
-                    partials.append(
-                        execute_segment(plan, segment, bitmaps.get(segment_id), ctx)
+            with maybe_span(
+                self.tracer, "worker_scan",
+                worker=worker_id, segments=len(segment_ids),
+            ) as scan_span:
+                with self.clock.capturing() as captured:
+                    ctx = ExecContext(
+                        clock=self.clock,
+                        cost=self.cost,
+                        params=params,
+                        reader=reader,
+                        resolve_index=self._resolver_for(worker, index_key_of),
+                        metrics=self.metrics,
+                        tracer=self.tracer,
                     )
+                    for segment_id in segment_ids:
+                        segment = by_id[segment_id]
+                        partials.append(
+                            execute_segment(plan, segment, bitmaps.get(segment_id), ctx)
+                        )
+                if scan_span is not None:
+                    # Charged cost, not wall time: the capturing block keeps
+                    # the clock frozen, so span duration alone would read 0.
+                    scan_span.set_tag("cost_s", round(captured.total, 9))
             worker_costs.append(captured.total)
 
         makespan = max(worker_costs) if worker_costs else 0.0
@@ -268,6 +280,8 @@ class VirtualWarehouse:
                 serving_enabled=self.config.serving_enabled,
             )
             self.metrics.incr(f"warehouse.tier.{tier}")
+            if self.tracer is not None:
+                self.tracer.annotate("tier", tier)
             return provider
 
         return resolve

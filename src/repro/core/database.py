@@ -27,7 +27,7 @@ Session settings mirror the paper's ablation switches::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -39,6 +39,8 @@ from repro.executor.columnio import ColumnReader, ReadOptConfig
 from repro.executor.pipeline import ExecContext, QueryResult, execute_plan_on_segments
 from repro.ingest.update import apply_delete, apply_update
 from repro.ingest.writer import IngestConfig, IngestReport
+from repro.observe.export import MetricsExporter
+from repro.observe.trace import Span, Tracer
 from repro.partition.pruning import prune_segments_scalar, select_semantic_candidates
 from repro.planner.cost import CostModelParams
 from repro.planner.logical import bind_select
@@ -57,11 +59,13 @@ from repro.sqlparser.ast_nodes import (
     CreateTable,
     Delete,
     DropTable,
+    Explain,
     Insert,
     Select,
     SetStatement,
     Update,
 )
+from repro.sqlparser.lexer import TokenType, tokenize
 from repro.sqlparser.parser import parse_statement
 from repro.storage.objectstore import ObjectStore
 from repro.storage.segment import Segment
@@ -119,6 +123,65 @@ class EngineSettings:
         raise SQLError(f"unknown setting {name!r}")
 
 
+@dataclass
+class ExplainResult:
+    """Output of EXPLAIN / EXPLAIN ANALYZE.
+
+    Holds the chosen physical plan, the recorded span tree, and (for
+    ANALYZE) the executed query result.  :meth:`render` produces the
+    text form the shell prints.
+    """
+
+    sql: str
+    analyze: bool
+    plan: PhysicalPlan
+    trace: Optional[Span] = None
+    result: Optional[QueryResult] = None
+
+    def render(self) -> str:
+        """Plan summary plus the span tree with per-operator timings."""
+        mode = "EXPLAIN ANALYZE" if self.analyze else "EXPLAIN"
+        lines = [f"{mode} {self.sql.strip()}"]
+        lines.append(
+            f"plan: strategy={self.plan.strategy.value} "
+            f"use_index={self.plan.use_index} sigma={self.plan.sigma:.2f} "
+            f"search_params={self.plan.search_params}"
+        )
+        if self.trace is not None:
+            lines.append(self.trace.render())
+        if self.result is not None:
+            lines.append(
+                f"({len(self.result)} rows, "
+                f"{self.result.simulated_seconds * 1e3:.3f} sim-ms)"
+            )
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe form: plan summary plus the nested span tree."""
+        return {
+            "sql": self.sql.strip(),
+            "analyze": self.analyze,
+            "strategy": self.plan.strategy.value,
+            "use_index": self.plan.use_index,
+            "search_params": dict(self.plan.search_params),
+            "trace": self.trace.to_dict() if self.trace is not None else None,
+            "rows": len(self.result) if self.result is not None else None,
+        }
+
+
+def _strip_explain_prefix(sql: str) -> str:
+    """The SELECT text under an EXPLAIN [ANALYZE] prefix.
+
+    The bare text keys the plan cache, so ``EXPLAIN ANALYZE q`` and ``q``
+    share one plan-cache signature.
+    """
+    for token in tokenize(sql):
+        if token.type == TokenType.KEYWORD and token.value in ("EXPLAIN", "ANALYZE"):
+            continue
+        return sql[token.position:]
+    return sql
+
+
 class BlendHouse:
     """Single-process BlendHouse engine over simulated cloud storage."""
 
@@ -133,6 +196,7 @@ class BlendHouse:
         self.clock = clock or SimulatedClock()
         self.cost = cost_model or DeviceCostModel()
         self.metrics = MetricRegistry()
+        self.tracer = Tracer(self.clock)
         self.store = ObjectStore(self.clock, self.cost, self.metrics)
         self.catalog = Catalog()
         self.settings = settings or EngineSettings()
@@ -157,10 +221,20 @@ class BlendHouse:
         """Execute one SQL statement.
 
         Returns a :class:`QueryResult` for SELECTs, an
-        :class:`IngestReport` for INSERTs, and small ack objects for
-        other statements.
+        :class:`IngestReport` for INSERTs, an :class:`ExplainResult`
+        for EXPLAIN [ANALYZE], and small ack objects for other
+        statements.  Every statement records a ``query`` root span with
+        the parse and dispatch work as children.
         """
-        statement = parse_statement(sql)
+        with self.tracer.span("query") as root:
+            with self.tracer.span("parse"):
+                statement = parse_statement(sql)
+            root.set_tag("statement", type(statement).__name__)
+            return self._dispatch(sql, statement, root)
+
+    def _dispatch(self, sql: str, statement: Any, root: Span) -> Any:
+        if isinstance(statement, Explain):
+            return self._execute_explain(sql, statement, root)
         if isinstance(statement, CreateTable):
             return self._execute_create(statement)
         if isinstance(statement, DropTable):
@@ -223,7 +297,7 @@ class BlendHouse:
         if schema.name not in self._tables:
             self._tables[schema.name] = TableRuntime(
                 entry, self.store, self.clock, self.cost, self.metrics,
-                ingest_config=self._ingest_config,
+                ingest_config=self._ingest_config, tracer=self.tracer,
             )
         return schema
 
@@ -327,11 +401,22 @@ class BlendHouse:
         return overrides
 
     def _plan_select(self, sql: str, statement: Select) -> PhysicalPlan:
+        with self.tracer.span("plan") as span:
+            plan = self._plan_select_traced(sql, statement, span)
+            span.set_tag("strategy", plan.strategy.value)
+            return plan
+
+    def _plan_select_traced(
+        self, sql: str, statement: Select, span: Span
+    ) -> PhysicalPlan:
         runtime = self.table(statement.table)
         schema = runtime.entry.schema
         cached = None
         if self.settings.enable_plan_cache:
             cached = self.plan_cache.lookup(sql)
+            span.set_tag("plan_cache", "hit" if cached is not None else "miss")
+        else:
+            span.set_tag("plan_cache", "disabled")
         logical = apply_rules(bind_select(statement, schema))
         optimizer = self._optimizer(schema)
         index_spec = schema.index_spec
@@ -360,7 +445,10 @@ class BlendHouse:
             # cheap parameter-binding overhead is charged.
             self.clock.advance(self.cost.plan_cached_overhead_s)
             self.metrics.incr("planner.cache_hits")
+            self.metrics.incr("plan_cache.hits")
             return plan
+        if self.settings.enable_plan_cache:
+            self.metrics.incr("plan_cache.misses")
         if plan.short_circuited:
             self.clock.advance(self.cost.plan_cached_overhead_s)
         else:
@@ -386,35 +474,48 @@ class BlendHouse:
             reader=reader,
             resolve_index=runtime.resolve_index,
             metrics=self.metrics,
+            tracer=self.tracer,
         )
 
     def _select_segments(
         self, runtime: TableRuntime, plan: PhysicalPlan
     ) -> List[List[Segment]]:
         """Scheduling-phase pruning: returns [scheduled, reserve] waves."""
-        manager = runtime.manager
-        metas = manager.metas()
-        metas = prune_segments_scalar(metas, plan.logical.scalar_predicate)
-        self.metrics.incr("pruning.scalar_kept", len(metas))
-        schema = runtime.entry.schema
-        use_semantic = (
-            self.settings.enable_semantic_pruning
-            and schema.cluster_buckets > 0
-            and plan.logical.is_vector_query
-        )
-        if not use_semantic:
-            return [[manager.segment(meta.segment_id) for meta in metas], []]
-        keep = max(1, self.settings.semantic_prune_keep)
-        scheduled, reserve = select_semantic_candidates(
-            metas, plan.logical.distance.query_vector, keep
-        )
-        self.metrics.incr("pruning.semantic_kept", len(scheduled))
-        return [
-            [manager.segment(meta.segment_id) for meta in scheduled],
-            [manager.segment(meta.segment_id) for meta in reserve],
-        ]
+        with self.tracer.span("prune") as span:
+            manager = runtime.manager
+            total = len(manager)
+            metas = manager.metas()
+            metas = prune_segments_scalar(metas, plan.logical.scalar_predicate)
+            self.metrics.incr("pruning.scalar_kept", len(metas))
+            span.set_tag("segments_total", total)
+            span.set_tag("scalar_kept", len(metas))
+            schema = runtime.entry.schema
+            use_semantic = (
+                self.settings.enable_semantic_pruning
+                and schema.cluster_buckets > 0
+                and plan.logical.is_vector_query
+            )
+            if not use_semantic:
+                return [[manager.segment(meta.segment_id) for meta in metas], []]
+            keep = max(1, self.settings.semantic_prune_keep)
+            scheduled, reserve = select_semantic_candidates(
+                metas, plan.logical.distance.query_vector, keep
+            )
+            self.metrics.incr("pruning.semantic_kept", len(scheduled))
+            span.set_tag("semantic_kept", len(scheduled))
+            span.set_tag("reserve", len(reserve))
+            return [
+                [manager.segment(meta.segment_id) for meta in scheduled],
+                [manager.segment(meta.segment_id) for meta in reserve],
+            ]
 
     def _execute_select(self, sql: str, statement: Select) -> QueryResult:
+        result, _ = self._run_select(sql, statement)
+        return result
+
+    def _run_select(
+        self, sql: str, statement: Select
+    ) -> Tuple[QueryResult, PhysicalPlan]:
         runtime = self.table(statement.table)
         plan = self._plan_select(sql, statement)
         ctx = self._exec_context(runtime)
@@ -424,21 +525,50 @@ class BlendHouse:
             for segment in scheduled + reserve
         }
         start = self.clock.now
-        result = execute_plan_on_segments(plan, scheduled, bitmaps, ctx)
-        wanted = plan.logical.k or 0
-        if (
-            reserve
-            and self.settings.adaptive_widening
-            and plan.logical.is_vector_query
-            and len(result) < max(wanted - plan.logical.offset, 0)
-        ):
-            # Runtime-adaptive widening: the centroid ranking under-
-            # estimated; schedule everything and redo the merge.
-            self.metrics.incr("pruning.adaptive_widenings")
-            result = execute_plan_on_segments(plan, scheduled + reserve, bitmaps, ctx)
+        with self.tracer.span("execute", segments=len(scheduled)) as span:
+            result = execute_plan_on_segments(plan, scheduled, bitmaps, ctx)
+            wanted = plan.logical.k or 0
+            if (
+                reserve
+                and self.settings.adaptive_widening
+                and plan.logical.is_vector_query
+                and len(result) < max(wanted - plan.logical.offset, 0)
+            ):
+                # Runtime-adaptive widening: the centroid ranking under-
+                # estimated; schedule everything and redo the merge.
+                self.metrics.incr("pruning.adaptive_widenings")
+                span.set_tag("adaptive_widened", True)
+                result = execute_plan_on_segments(
+                    plan, scheduled + reserve, bitmaps, ctx
+                )
+            span.set_tag("rows", len(result))
         result.simulated_seconds = self.clock.elapsed_since(start)
         self.metrics.incr("queries")
-        return result
+        self.metrics.record_latency("query.latency", result.simulated_seconds)
+        return result, plan
+
+    # ------------------------------------------------------------------
+    # EXPLAIN
+    # ------------------------------------------------------------------
+    def _execute_explain(
+        self, sql: str, statement: Explain, root: Span
+    ) -> ExplainResult:
+        inner_sql = _strip_explain_prefix(sql)
+        root.set_tag("explain", "analyze" if statement.analyze else "plan")
+        if statement.analyze:
+            result, plan = self._run_select(inner_sql, statement.statement)
+            return ExplainResult(
+                sql=inner_sql, analyze=True, plan=plan, trace=root, result=result
+            )
+        plan = self._plan_select(inner_sql, statement.statement)
+        return ExplainResult(sql=inner_sql, analyze=False, plan=plan, trace=root)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def export_metrics(self) -> MetricsExporter:
+        """The public metrics surface: snapshot dict / Prometheus text."""
+        return MetricsExporter(self.metrics, self.tracer)
 
     # ------------------------------------------------------------------
     # Introspection

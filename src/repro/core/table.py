@@ -14,6 +14,7 @@ from typing import Dict, Optional
 from repro.catalog.catalog import TableEntry
 from repro.errors import ObjectNotFoundError
 from repro.ingest.writer import IngestConfig, SegmentWriter
+from repro.observe.trace import Tracer
 from repro.simulate.clock import SimulatedClock
 from repro.simulate.costmodel import DeviceCostModel
 from repro.simulate.metrics import MetricRegistry
@@ -37,12 +38,14 @@ class TableRuntime:
         metrics: MetricRegistry,
         ingest_config: Optional[IngestConfig] = None,
         compaction_config: Optional[CompactionConfig] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.entry = entry
         self.store = store
         self.clock = clock
         self.cost = cost
         self.metrics = metrics
+        self.tracer = tracer
         self.manager = SegmentManager()
         self.writer = SegmentWriter(
             entry, self.manager, store, clock,
@@ -72,22 +75,32 @@ class TableRuntime:
         """
         index_key = self.manager.index_key(segment.segment_id)
         if index_key is None:
+            self._annotate_tier("none")
             return None
         built = self.writer.built_indexes.get(index_key)
         if built is not None:
+            self._annotate_tier("built")
             return built
         cached = self._loaded_indexes.get(index_key)
         if cached is not None:
+            self._annotate_tier("memory")
             return cached
         try:
             payload = self.store.get(index_key)
         except ObjectNotFoundError:
+            self._annotate_tier("none")
             return None
         index = deserialize_index(payload)
         self._attach_segment_hooks(index, segment)
         self._loaded_indexes[index_key] = index
         self.metrics.incr("table.index_cold_loads")
+        self._annotate_tier("remote")
         return index
+
+    def _annotate_tier(self, tier: str) -> None:
+        """Attribute the resolution tier to the in-flight trace span."""
+        if self.tracer is not None:
+            self.tracer.annotate("tier", tier)
 
     def _attach_segment_hooks(self, index: VectorIndex, segment: Segment) -> None:
         """Re-wire non-persisted hooks after deserialization."""

@@ -24,6 +24,7 @@ from repro.executor.annscan import (
     search_with_range_op,
 )
 from repro.executor.columnio import ColumnReader
+from repro.observe.trace import Tracer, maybe_span
 from repro.planner.cost import CostModelParams
 from repro.planner.optimizer import ExecutionStrategy, PhysicalPlan
 from repro.simulate.clock import SimulatedClock
@@ -58,6 +59,7 @@ class ExecContext:
     reader: ColumnReader
     resolve_index: IndexResolver
     metrics: MetricRegistry = field(default_factory=MetricRegistry)
+    tracer: Optional[Tracer] = None
 
 
 @dataclass
@@ -131,6 +133,14 @@ def _segment_columns(segment: Segment, names: Set[str]) -> Dict[str, Any]:
     return columns
 
 
+def _alive_mask(bitmap: DeleteBitmap, ctx: ExecContext) -> np.ndarray:
+    """Delete-bitmap filtering, attributed to the trace and metrics."""
+    with maybe_span(ctx.tracer, "delete_bitmap.filter",
+                    deleted=bitmap.deleted_count):
+        ctx.metrics.incr("delete_bitmap.filters")
+        return bitmap.alive_mask()
+
+
 def _structured_scan_mask(
     plan: PhysicalPlan,
     segment: Segment,
@@ -138,7 +148,10 @@ def _structured_scan_mask(
     ctx: ExecContext,
 ) -> np.ndarray:
     """Alive ∧ predicate mask, charging the structured scan cost T0."""
-    alive = bitmap.alive_mask() if bitmap is not None else np.ones(segment.row_count, bool)
+    if bitmap is not None:
+        alive = _alive_mask(bitmap, ctx)
+    else:
+        alive = np.ones(segment.row_count, bool)
     predicate = plan.logical.scalar_predicate
     if predicate is None:
         return alive
@@ -177,7 +190,14 @@ def _execute_segment(
     query = logical.distance.query_vector
     metric = logical.distance.metric
     k = logical.k or 10
-    provider = ctx.resolve_index(segment) if plan.use_index else None
+    if plan.use_index:
+        # Resolvers annotate the open span with the tier the index came
+        # from (built / memory / disk / serving / cold_load / brute).
+        with maybe_span(ctx.tracer, "index_resolve",
+                        segment=segment.segment_id):
+            provider = ctx.resolve_index(segment)
+    else:
+        provider = None
 
     if strategy is ExecutionStrategy.BRUTE_FORCE:
         mask = _structured_scan_mask(plan, segment, bitmap, ctx)
@@ -198,7 +218,7 @@ def _execute_segment(
     if strategy is ExecutionStrategy.ANN_ONLY:
         alive: Optional[np.ndarray] = None
         if bitmap is not None and bitmap.deleted_count > 0:
-            alive = bitmap.alive_mask()
+            alive = _alive_mask(bitmap, ctx)
         result = search_with_filter_op(
             provider, segment, query, k, metric, alive, charger,
             sigma=plan.sigma, **plan.search_params,
@@ -208,7 +228,7 @@ def _execute_segment(
     if strategy is ExecutionStrategy.RANGE:
         alive = None
         if bitmap is not None and bitmap.deleted_count > 0:
-            alive = bitmap.alive_mask()
+            alive = _alive_mask(bitmap, ctx)
         radius = logical.distance_range
         if radius is None:
             raise ExecutionError("RANGE strategy requires a distance range")
@@ -264,7 +284,7 @@ def _execute_post_filter(
     logical = plan.logical
     alive: Optional[np.ndarray] = None
     if bitmap is not None and bitmap.deleted_count > 0:
-        alive = bitmap.alive_mask()
+        alive = _alive_mask(bitmap, ctx)
     target = int(max(1.0, plan.sigma) * k)
     batch_size = max(k, 32)
     iterator = search_iterator_op(
@@ -391,7 +411,13 @@ def execute_segment(
     ctx: ExecContext,
 ) -> PartialResult:
     """Run ``plan`` on one segment (the unit a cluster worker executes)."""
-    return _execute_segment(plan, segment, bitmap, ctx)
+    with maybe_span(ctx.tracer, "segment_scan",
+                    segment=segment.segment_id,
+                    strategy=plan.strategy.value) as span:
+        partial = _execute_segment(plan, segment, bitmap, ctx)
+        if span is not None:
+            span.set_tag("rows", int(partial.offsets.size))
+        return partial
 
 
 def merge_and_project(
@@ -401,14 +427,18 @@ def merge_and_project(
     segments_scanned: int,
 ) -> QueryResult:
     """Merge partial top-k results and fetch the projected columns."""
-    merged = _merge_partials(plan, partials)
-    names, rows = _project(plan, merged, ctx)
-    return QueryResult(
-        columns=names,
-        rows=rows,
-        strategy=plan.strategy,
-        segments_scanned=segments_scanned,
-    )
+    with maybe_span(ctx.tracer, "merge_project",
+                    partials=len(partials)) as span:
+        merged = _merge_partials(plan, partials)
+        names, rows = _project(plan, merged, ctx)
+        if span is not None:
+            span.set_tag("rows", len(rows))
+        return QueryResult(
+            columns=names,
+            rows=rows,
+            strategy=plan.strategy,
+            segments_scanned=segments_scanned,
+        )
 
 
 def execute_plan_on_segments(
@@ -420,7 +450,7 @@ def execute_plan_on_segments(
     """Run ``plan`` over ``segments`` and merge into the final result."""
     start = ctx.clock.now
     partials = [
-        _execute_segment(plan, segment, bitmaps.get(segment.segment_id), ctx)
+        execute_segment(plan, segment, bitmaps.get(segment.segment_id), ctx)
         for segment in segments
     ]
     result = merge_and_project(plan, partials, ctx, len(segments))

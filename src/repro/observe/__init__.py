@@ -1,0 +1,19 @@
+"""Query-path observability: trace spans, histograms, metric export.
+
+The span model and metric name catalog are documented in DESIGN.md
+("Observability") and README.md.  Everything here measures *simulated*
+time from the shared :class:`~repro.simulate.clock.SimulatedClock`.
+"""
+
+from repro.observe.export import MetricsExporter
+from repro.observe.trace import Span, Tracer, maybe_span
+from repro.simulate.metrics import Histogram, MetricRegistry
+
+__all__ = [
+    "Histogram",
+    "MetricRegistry",
+    "MetricsExporter",
+    "Span",
+    "Tracer",
+    "maybe_span",
+]

@@ -1,0 +1,54 @@
+"""Metrics + trace export: the public observability surface.
+
+Benches, tests, and the REPL consume these views instead of reading
+component internals.  :class:`MetricsExporter` wraps one
+:class:`~repro.simulate.metrics.MetricRegistry` (and optionally the
+engine tracer) and exposes
+
+* :meth:`MetricsExporter.as_dict` — a JSON-safe snapshot, and
+* :meth:`MetricsExporter.render` — Prometheus-style text exposition.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.observe.trace import Tracer
+from repro.simulate.metrics import MetricRegistry
+
+
+class MetricsExporter:
+    """Read-only export facade over a registry and an optional tracer."""
+
+    def __init__(
+        self,
+        registry: MetricRegistry,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self._registry = registry
+        self._tracer = tracer
+
+    def counter(self, name: str) -> int:
+        """One counter's exported value (zero when absent)."""
+        return int(self.as_dict()["counters"].get(name, 0))
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Snapshot of counters, latency summaries, and histograms.
+
+        When a tracer is attached the most recent root span tree rides
+        along under ``"last_trace"`` (None when no query has run).
+        """
+        snapshot: Dict[str, Any] = self._registry.as_dict()
+        if self._tracer is not None:
+            root = self._tracer.last_root()
+            snapshot["last_trace"] = root.to_dict() if root is not None else None
+        return snapshot
+
+    def as_json(self, indent: Optional[int] = None) -> str:
+        """The :meth:`as_dict` snapshot serialized to JSON."""
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        """Prometheus-style text exposition of the registry."""
+        return self._registry.render()

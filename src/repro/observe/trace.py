@@ -1,0 +1,209 @@
+"""Hierarchical trace spans over simulated time.
+
+A :class:`Tracer` is threaded through the query path; every layer
+boundary (parse, plan, prune, per-segment scan, cache-tier resolution,
+serving RPC, delete-bitmap filtering) opens a :class:`Span` recording
+its simulated start/end timestamps, free-form tags, and its parent link.
+The resulting tree is what ``EXPLAIN ANALYZE`` renders and what the
+per-tier latency attribution in the cache-miss and elasticity benches
+is built on.
+
+Spans measure the *shared simulated clock*, so a span's duration is
+exactly the cost its enclosed operators charged — child durations of
+sequential children always sum to at most the parent's duration.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.simulate.clock import SimulatedClock
+
+# Roots retained by a tracer; old query trees fall off so a long-lived
+# engine does not accumulate unbounded trace state.
+DEFAULT_MAX_ROOTS = 64
+
+
+class Span:
+    """One timed operation in a trace tree."""
+
+    __slots__ = ("name", "start", "end", "tags", "parent", "children")
+
+    def __init__(
+        self,
+        name: str,
+        start: float,
+        parent: Optional["Span"] = None,
+        tags: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.tags: Dict[str, Any] = dict(tags or {})
+        self.parent = parent
+        self.children: List["Span"] = []
+        if parent is not None:
+            parent.children.append(self)
+
+    @property
+    def finished(self) -> bool:
+        """Whether :meth:`finish` has been called."""
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds between start and end (0.0 while open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def finish(self, end: float) -> None:
+        """Close the span at simulated timestamp ``end``."""
+        if end < self.start:
+            raise ValueError(f"span cannot end before it starts: {end} < {self.start}")
+        self.end = end
+
+    def set_tag(self, key: str, value: Any) -> None:
+        """Attach or overwrite one tag."""
+        self.tags[key] = value
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First descendant (depth-first, self included) named ``name``."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def find_all(self, name: str) -> List["Span"]:
+        """Every descendant (self included) named ``name``, depth-first."""
+        out: List["Span"] = []
+        if self.name == name:
+            out.append(self)
+        for child in self.children:
+            out.extend(child.find_all(name))
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe nested representation of the subtree."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "tags": dict(self.tags),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def render(self, indent: str = "") -> str:
+        """ASCII tree of the subtree with per-span time and tags."""
+        return "\n".join(self._render_lines(indent))
+
+    def _render_lines(self, indent: str) -> List[str]:
+        tag_text = ""
+        if self.tags:
+            inner = ", ".join(f"{k}={_fmt_tag(v)}" for k, v in sorted(self.tags.items()))
+            tag_text = f"  [{inner}]"
+        lines = [f"{indent}{self.name}  {self.duration * 1e3:.3f} sim-ms{tag_text}"]
+        for child in self.children:
+            lines.extend(child._render_lines(indent + "  "))
+        return lines
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.name!r}, {self.duration * 1e3:.3f}ms, tags={self.tags})"
+
+
+def _fmt_tag(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+class Tracer:
+    """Builds span trees against a :class:`SimulatedClock`.
+
+    The tracer keeps a stack of open spans; :meth:`span` opens a child of
+    the innermost open span (or a new root) and closes it on exit.
+    Completed roots are retained (bounded) for ``EXPLAIN ANALYZE`` and
+    tests via :meth:`last_root`.
+    """
+
+    def __init__(
+        self,
+        clock: SimulatedClock,
+        max_roots: int = DEFAULT_MAX_ROOTS,
+    ) -> None:
+        self._clock = clock
+        self._stack: List[Span] = []
+        self._roots: "deque[Span]" = deque(maxlen=max_roots)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def roots(self) -> List[Span]:
+        """Retained root spans, oldest first."""
+        return list(self._roots)
+
+    def last_root(self) -> Optional[Span]:
+        """The most recently *started* root span, or None."""
+        return self._roots[-1] if self._roots else None
+
+    def start(self, name: str, **tags: Any) -> Span:
+        """Open a span; the caller must :meth:`finish` it."""
+        span = Span(name, self._clock.now, parent=self.current, tags=tags)
+        if span.parent is None:
+            self._roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def finish(self, span: Span) -> None:
+        """Close ``span`` (and any deeper spans left open) at clock-now."""
+        while self._stack:
+            top = self._stack.pop()
+            top.finish(self._clock.now)
+            if top is span:
+                return
+        raise ValueError(f"span {span.name!r} is not open on this tracer")
+
+    @contextmanager
+    def span(self, name: str, **tags: Any) -> Iterator[Span]:
+        """Context manager opening and closing one span."""
+        opened = self.start(name, **tags)
+        try:
+            yield opened
+        finally:
+            self.finish(opened)
+
+    def annotate(self, key: str, value: Any) -> None:
+        """Tag the innermost open span; no-op when no span is open.
+
+        Lets deep components (cache tiers, RPC fabric) attribute facts
+        to whatever operation is in flight without being handed the span.
+        """
+        current = self.current
+        if current is not None:
+            current.set_tag(key, value)
+
+    def reset(self) -> None:
+        """Drop retained roots and abandon any open spans."""
+        self._stack.clear()
+        self._roots.clear()
+
+
+@contextmanager
+def maybe_span(
+    tracer: Optional[Tracer], name: str, **tags: Any
+) -> Iterator[Optional[Span]]:
+    """``tracer.span`` when a tracer is present, else a no-op context."""
+    if tracer is None:
+        yield None
+        return
+    with tracer.span(name, **tags) as span:
+        yield span

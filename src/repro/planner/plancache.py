@@ -33,8 +33,12 @@ def parameterize(sql: str) -> str:
         if token.type == TokenType.EOF:
             break
         if token.type == TokenType.LBRACKET:
+            # Emit one placeholder for the *outermost* bracket only, so
+            # any balanced [...] region — including nested literals like
+            # [[1,2],[3,4]] — collapses to a single "[?]".
+            if depth == 0:
+                parts.append("[?]")
             depth += 1
-            parts.append("[?]")
             continue
         if token.type == TokenType.RBRACKET:
             depth = max(0, depth - 1)

@@ -88,10 +88,18 @@ class LatencyRecorder:
         return sum(self._values)
 
     def qps(self) -> float:
-        """Throughput assuming queries ran back to back on one stream."""
+        """Throughput assuming queries ran back to back on one stream.
+
+        No observations is zero throughput; observations that together
+        cost zero simulated time (e.g. an all-memory-hit workload under
+        a frozen clock) are *infinite* throughput, not zero — collapsing
+        the two misreported the fastest workloads as the slowest.
+        """
+        if not self._values:
+            return 0.0
         total = self.total()
         if total <= 0:
-            return 0.0
+            return float("inf")
         return self.count / total
 
     def summary(self) -> LatencySummary:
@@ -147,18 +155,72 @@ class ThroughputWindow:
         return out
 
 
+class Histogram:
+    """Exponential-bucket histogram (Prometheus ``le`` semantics).
+
+    Buckets are cumulative upper bounds; an observation lands in every
+    bucket whose bound is >= the value, plus the implicit ``+Inf``.
+    Default bounds cover 1 µs .. ~100 s of simulated time.
+    """
+
+    DEFAULT_BOUNDS = tuple(1e-6 * (4.0 ** i) for i in range(14))
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
+        ordered = sorted(float(b) for b in bounds)
+        if not ordered:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = tuple(ordered)
+        self.bucket_counts = [0] * len(self.bounds)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        if value < 0:
+            raise ValueError(f"negative histogram observation: {value}")
+        self.count += 1
+        self.total += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
+
+    def cumulative_counts(self) -> List[int]:
+        """Cumulative count per bound (Prometheus ``le`` buckets)."""
+        out: List[int] = []
+        running = 0
+        for count in self.bucket_counts:
+            running += count
+            out.append(running)
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe view: bounds, cumulative counts, count, sum."""
+        return {
+            "bounds": list(self.bounds),
+            "cumulative": self.cumulative_counts(),
+            "count": self.count,
+            "sum": self.total,
+        }
+
+
 @dataclass
 class MetricRegistry:
-    """Named counters and latency recorders shared by a component tree.
+    """Named counters, latency recorders, and histograms shared by a
+    component tree.
 
-    A single registry is threaded through the engine so tests and benches
-    can assert on internals (cache hits, RPC calls, brute-force fallbacks)
-    without reaching into private state.
+    A single registry is threaded through the engine.  Tests and benches
+    consume the *exported* views — :meth:`count`, :meth:`as_dict`, and
+    the Prometheus-style :meth:`render` — instead of reaching into
+    private component state.
     """
 
     counters: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     latencies: Dict[str, LatencyRecorder] = field(
         default_factory=lambda: defaultdict(LatencyRecorder)
+    )
+    histograms: Dict[str, Histogram] = field(
+        default_factory=lambda: defaultdict(Histogram)
     )
 
     def incr(self, name: str, delta: int = 1) -> None:
@@ -170,14 +232,88 @@ class MetricRegistry:
         return self.counters.get(name, 0)
 
     def record_latency(self, name: str, seconds: float) -> None:
-        """Record a latency observation under ``name``."""
+        """Record a latency observation under ``name`` (recorder and
+        histogram both, so exports carry the full distribution)."""
         self.latencies[name].record(seconds)
+        self.histograms[name].observe(seconds)
 
     def latency(self, name: str) -> LatencyRecorder:
         """Recorder for ``name``, created on first use."""
         return self.latencies[name]
 
+    def histogram(self, name: str) -> Histogram:
+        """Histogram for ``name``, created on first use."""
+        return self.histograms[name]
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """Exported snapshot: the public surface benches assert against.
+
+        ``{"counters": {...}, "latencies": {name: summary-dict},
+        "histograms": {name: histogram-dict}}``.  Latency series with no
+        observations are omitted rather than raising.
+        """
+        return {
+            "counters": dict(self.counters),
+            "latencies": {
+                name: recorder.summary().as_dict()
+                for name, recorder in self.latencies.items()
+                if recorder.count
+            },
+            "histograms": {
+                name: histogram.as_dict()
+                for name, histogram in self.histograms.items()
+                if histogram.count
+            },
+        }
+
+    def render(self) -> str:
+        """Prometheus-style text exposition of every metric.
+
+        Counters render as ``name_total``, latencies as quantile gauges,
+        histograms as cumulative ``_bucket{le=...}`` series.
+        """
+        lines: List[str] = []
+        for name in sorted(self.counters):
+            metric = _prom_name(name)
+            lines.append(f"# TYPE {metric}_total counter")
+            lines.append(f"{metric}_total {self.counters[name]}")
+        for name in sorted(self.latencies):
+            recorder = self.latencies[name]
+            if not recorder.count:
+                continue
+            metric = _prom_name(name)
+            summary = recorder.summary()
+            lines.append(f"# TYPE {metric}_seconds summary")
+            for label, value in (("0.5", summary.p50), ("0.95", summary.p95),
+                                 ("0.99", summary.p99)):
+                lines.append(f'{metric}_seconds{{quantile="{label}"}} {value:.9g}')
+            lines.append(f"{metric}_seconds_sum {recorder.total():.9g}")
+            lines.append(f"{metric}_seconds_count {recorder.count}")
+        for name in sorted(self.histograms):
+            histogram = self.histograms[name]
+            if not histogram.count:
+                continue
+            metric = _prom_name(name)
+            lines.append(f"# TYPE {metric}_seconds histogram")
+            for bound, cumulative in zip(histogram.bounds,
+                                         histogram.cumulative_counts()):
+                lines.append(
+                    f'{metric}_seconds_bucket{{le="{bound:.9g}"}} {cumulative}'
+                )
+            lines.append(
+                f'{metric}_seconds_bucket{{le="+Inf"}} {histogram.count}'
+            )
+            lines.append(f"{metric}_seconds_sum {histogram.total:.9g}")
+            lines.append(f"{metric}_seconds_count {histogram.count}")
+        return "\n".join(lines)
+
     def reset(self) -> None:
-        """Zero all counters and drop all latency observations."""
+        """Zero all counters and drop all observations."""
         self.counters.clear()
         self.latencies.clear()
+        self.histograms.clear()
+
+
+def _prom_name(name: str) -> str:
+    """Metric name mangled to the Prometheus charset (dots → underscores)."""
+    return "".join(ch if (ch.isalnum() or ch == "_") else "_" for ch in name)

@@ -216,3 +216,15 @@ class Select(Statement):
     order_by: List[OrderByItem] = field(default_factory=list)
     limit: Optional[int] = None
     offset: int = 0
+
+
+@dataclass
+class Explain(Statement):
+    """EXPLAIN [ANALYZE] select.
+
+    Plain EXPLAIN reports the chosen physical plan without executing;
+    EXPLAIN ANALYZE runs the query and attaches the recorded span tree.
+    """
+
+    statement: Select
+    analyze: bool = False

@@ -18,6 +18,7 @@ from repro.sqlparser.ast_nodes import (
     CreateTable,
     Delete,
     DropTable,
+    Explain,
     Expression,
     FunctionCall,
     InList,
@@ -109,6 +110,8 @@ class _Parser:
     # ------------------------------------------------------------------
     def parse_statement(self) -> Statement:
         token = self.current
+        if token.is_keyword("EXPLAIN"):
+            return self._parse_explain()
         if token.is_keyword("CREATE"):
             return self._parse_create_table()
         if token.is_keyword("DROP"):
@@ -127,6 +130,18 @@ class _Parser:
             f"unsupported statement starting with {token.value!r}",
             position=token.position,
         )
+
+    def _parse_explain(self) -> Explain:
+        self.expect_keyword("EXPLAIN")
+        analyze = bool(self.match_keyword("ANALYZE"))
+        if not self.current.is_keyword("SELECT"):
+            token = self.current
+            raise ParseError(
+                f"EXPLAIN supports only SELECT, found {token.value!r} "
+                f"at position {token.position}",
+                position=token.position,
+            )
+        return Explain(statement=self._parse_select(), analyze=analyze)
 
     def _finish(self) -> None:
         self.match(TokenType.SEMICOLON)

@@ -18,6 +18,7 @@ from collections import OrderedDict
 from typing import Any, Callable, Optional, Tuple
 
 from repro.errors import ObjectNotFoundError
+from repro.observe.trace import Tracer, maybe_span
 from repro.simulate.clock import SimulatedClock
 from repro.simulate.costmodel import DeviceCostModel
 from repro.simulate.metrics import MetricRegistry
@@ -73,12 +74,20 @@ class LRUCache:
         return entry[0]
 
     def put(self, key: str, value: Any) -> bool:
-        """Insert ``value``; returns False if it alone exceeds capacity."""
+        """Insert ``value``; returns False if it alone exceeds capacity.
+
+        Any existing entry under ``key`` is displaced *before* the
+        capacity check: when a rebuilt index outgrows the cache the stale
+        predecessor must stop serving, not linger as a phantom hit.
+        """
         size = int(self._size_of(value))
+        displaced = self._entries.pop(key, None)
+        if displaced is not None:
+            self._used -= displaced[1]
         if size > self.capacity_bytes:
+            if displaced is not None:
+                self.evictions += 1
             return False
-        if key in self._entries:
-            self._used -= self._entries.pop(key)[1]
         while self._used + size > self.capacity_bytes and self._entries:
             _, (_, evicted_size) = self._entries.popitem(last=False)
             self._used -= evicted_size
@@ -131,7 +140,12 @@ class SplitIndexCache:
         return self.data.get(key)
 
     def put_data(self, key: str, value: Any) -> bool:
-        """Data-space insert."""
+        """Data-space insert.
+
+        Returns False when ``value`` alone exceeds the data space; any
+        stale entry under ``key`` has still been evicted (never serve a
+        pre-compaction index because its replacement did not fit).
+        """
         return self.data.put(key, value)
 
     def evict_data(self, key: str) -> bool:
@@ -180,6 +194,7 @@ class HierarchicalIndexCache:
         deserialize: Callable[[bytes], Any],
         cost_model: Optional[DeviceCostModel] = None,
         metrics: Optional[MetricRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self._clock = clock
         self._memory = memory
@@ -188,6 +203,7 @@ class HierarchicalIndexCache:
         self._deserialize = deserialize
         self._cost = cost_model or DeviceCostModel()
         self._metrics = metrics or MetricRegistry()
+        self._tracer = tracer
 
     def get(self, key: str) -> Tuple[Any, str]:
         """Fetch index ``key`` through the hierarchy, back-filling tiers.
@@ -197,6 +213,17 @@ class HierarchicalIndexCache:
         ObjectNotFoundError
             If the key exists in no tier (index never persisted).
         """
+        with maybe_span(self._tracer, "index_cache.get", key=key) as span:
+            start = self._clock.now
+            value, tier = self._resolve(key)
+            if span is not None:
+                span.set_tag("tier", tier)
+            self._metrics.record_latency(
+                f"index_cache.tier.{tier}", self._clock.elapsed_since(start)
+            )
+            return value, tier
+
+    def _resolve(self, key: str) -> Tuple[Any, str]:
         value = self._memory.get_data(key)
         if value is not None:
             # A resident index costs one pointer chase to reach; the
@@ -208,16 +235,22 @@ class HierarchicalIndexCache:
         if self._disk is not None and key in self._disk:
             payload = self._disk.read(key)
             value = self._deserialize(payload)
-            self._memory.put_data(key, value)
+            self._fill_memory(key, value)
             self._metrics.incr("index_cache.disk_hits")
             return value, "disk"
         payload = self._store.get(key)  # raises ObjectNotFoundError
         value = self._deserialize(payload)
         if self._disk is not None:
             self._disk.write(key, payload)
-        self._memory.put_data(key, value)
+        self._fill_memory(key, value)
         self._metrics.incr("index_cache.remote_fetches")
         return value, "remote"
+
+    def _fill_memory(self, key: str, value: Any) -> None:
+        """Back-fill the RAM tier; an oversize value still displaces any
+        stale predecessor (see :meth:`LRUCache.put`) but is not cached."""
+        if not self._memory.put_data(key, value):
+            self._metrics.incr("index_cache.memory_insert_rejected")
 
     def contains_in_memory(self, key: str) -> bool:
         """True if a live index is resident in RAM (no cost charged)."""
@@ -234,7 +267,7 @@ class HierarchicalIndexCache:
         value = self._deserialize(payload)
         if self._disk is not None:
             self._disk.write(key, payload)
-        self._memory.put_data(key, value)
+        self._fill_memory(key, value)
         self._metrics.incr("index_cache.preloads")
         return True
 

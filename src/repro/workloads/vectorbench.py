@@ -94,10 +94,17 @@ def make_hybrid_workload(
 
 
 def qps_from_latencies(latencies: List[float]) -> float:
-    """Single-stream QPS: queries divided by total simulated time."""
+    """Single-stream QPS: queries divided by total simulated time.
+
+    An empty run is zero throughput; a run whose queries cost zero
+    simulated time is infinite throughput (all-memory hits under a
+    frozen clock), not zero.
+    """
+    if not latencies:
+        return 0.0
     total = sum(latencies)
     if total <= 0:
-        return 0.0
+        return float("inf")
     return len(latencies) / total
 
 

@@ -40,7 +40,9 @@ class TestDotCommands:
     def test_metrics(self):
         db = BlendHouse()
         handle_dot_command(db, ".seed demo 20 4")
-        assert "ingest.rows" in handle_dot_command(db, ".metrics")
+        text = handle_dot_command(db, ".metrics")
+        assert "ingest_rows_total 20" in text
+        assert "# TYPE" in text
 
     def test_quit_returns_none(self):
         assert handle_dot_command(BlendHouse(), ".quit") is None

@@ -1,0 +1,257 @@
+"""Tests for the observability layer: spans, tracer, exporter, EXPLAIN."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.database import BlendHouse, ExplainResult
+from repro.observe.export import MetricsExporter
+from repro.observe.trace import Span, Tracer, maybe_span
+from repro.simulate.clock import SimulatedClock
+from repro.simulate.metrics import MetricRegistry
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock)
+
+
+class TestSpan:
+    def test_duration_measures_clock(self, clock, tracer):
+        with tracer.span("op") as span:
+            clock.advance(0.5)
+        assert span.duration == pytest.approx(0.5)
+        assert span.finished
+
+    def test_open_span_duration_is_zero(self, tracer):
+        span = tracer.start("op")
+        assert span.duration == 0.0
+        assert not span.finished
+
+    def test_end_before_start_rejected(self):
+        span = Span("op", start=5.0)
+        with pytest.raises(ValueError):
+            span.finish(1.0)
+
+    def test_children_linked_both_ways(self, clock, tracer):
+        with tracer.span("parent") as parent:
+            with tracer.span("child") as child:
+                pass
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_sequential_children_sum_to_at_most_parent(self, clock, tracer):
+        with tracer.span("parent") as parent:
+            for cost in (0.1, 0.2, 0.3):
+                with tracer.span("child"):
+                    clock.advance(cost)
+            clock.advance(0.05)  # parent-only work
+        child_total = sum(c.duration for c in parent.children)
+        assert child_total == pytest.approx(0.6)
+        assert child_total <= parent.duration
+        assert parent.duration == pytest.approx(0.65)
+
+    def test_find_and_find_all(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("scan"):
+                pass
+            with tracer.span("scan"):
+                pass
+        root = tracer.last_root()
+        assert root.find("scan") is root.children[0]
+        assert len(root.find_all("scan")) == 2
+        assert root.find("ghost") is None
+
+    def test_to_dict_round_trips_through_json(self, clock, tracer):
+        with tracer.span("root", table="t"):
+            clock.advance(0.1)
+        d = json.loads(json.dumps(tracer.last_root().to_dict()))
+        assert d["name"] == "root"
+        assert d["tags"] == {"table": "t"}
+        assert d["duration"] == pytest.approx(0.1)
+
+    def test_render_tree(self, clock, tracer):
+        with tracer.span("root"):
+            with tracer.span("child", tier="memory"):
+                clock.advance(0.001)
+        text = tracer.last_root().render()
+        assert "root" in text
+        assert "  child  1.000 sim-ms  [tier=memory]" in text
+
+
+class TestTracer:
+    def test_current_tracks_stack(self, tracer):
+        assert tracer.current is None
+        with tracer.span("a") as a:
+            assert tracer.current is a
+            with tracer.span("b") as b:
+                assert tracer.current is b
+            assert tracer.current is a
+        assert tracer.current is None
+
+    def test_finish_closes_abandoned_descendants(self, clock, tracer):
+        outer = tracer.start("outer")
+        tracer.start("inner")
+        clock.advance(0.1)
+        tracer.finish(outer)
+        assert outer.finished
+        assert outer.children[0].finished
+
+    def test_finish_unknown_span_rejected(self, tracer):
+        foreign = Span("foreign", start=0.0)
+        with pytest.raises(ValueError):
+            tracer.finish(foreign)
+
+    def test_annotate_tags_innermost(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                tracer.annotate("tier", "disk")
+        assert inner.tags["tier"] == "disk"
+        assert "tier" not in outer.tags
+
+    def test_annotate_without_open_span_is_noop(self, tracer):
+        tracer.annotate("tier", "disk")  # must not raise
+
+    def test_roots_bounded(self, clock):
+        tracer = Tracer(clock, max_roots=3)
+        for i in range(5):
+            with tracer.span(f"q{i}"):
+                pass
+        assert [root.name for root in tracer.roots] == ["q2", "q3", "q4"]
+
+    def test_reset(self, tracer):
+        with tracer.span("q"):
+            pass
+        tracer.reset()
+        assert tracer.last_root() is None
+        assert tracer.current is None
+
+    def test_maybe_span_without_tracer_is_noop(self):
+        with maybe_span(None, "op") as span:
+            assert span is None
+
+    def test_maybe_span_with_tracer_opens_span(self, tracer):
+        with maybe_span(tracer, "op", k=1) as span:
+            assert span is tracer.current
+        assert tracer.last_root().tags == {"k": 1}
+
+
+class TestMetricsExporter:
+    def test_counter_reads_public_dict(self):
+        registry = MetricRegistry()
+        registry.incr("hits", 7)
+        exporter = MetricsExporter(registry)
+        assert exporter.counter("hits") == 7
+        assert exporter.counter("absent") == 0
+
+    def test_as_dict_includes_last_trace(self, clock):
+        registry = MetricRegistry()
+        tracer = Tracer(clock)
+        exporter = MetricsExporter(registry, tracer)
+        assert exporter.as_dict()["last_trace"] is None
+        with tracer.span("query"):
+            clock.advance(0.2)
+        trace = exporter.as_dict()["last_trace"]
+        assert trace["name"] == "query"
+        assert trace["duration"] == pytest.approx(0.2)
+
+    def test_as_json_is_valid(self, clock):
+        registry = MetricRegistry()
+        registry.incr("a")
+        registry.record_latency("q", 0.1)
+        exporter = MetricsExporter(registry, Tracer(clock))
+        parsed = json.loads(exporter.as_json(indent=2))
+        assert parsed["counters"]["a"] == 1
+
+    def test_render_delegates_to_registry(self):
+        registry = MetricRegistry()
+        registry.incr("a")
+        assert MetricsExporter(registry).render() == registry.render()
+
+
+DIM = 8
+
+
+def _seeded_db(rows=300):
+    db = BlendHouse()
+    db.execute(
+        f"CREATE TABLE t (id UInt64, views UInt64, embedding Array(Float32), "
+        f"INDEX ann embedding TYPE HNSW('DIM={DIM}'))"
+    )
+    rng = np.random.default_rng(7)
+    db.insert_rows(
+        "t",
+        [
+            {
+                "id": i,
+                "views": int(rng.integers(0, 1000)),
+                "embedding": rng.normal(size=DIM).astype(np.float32),
+            }
+            for i in range(rows)
+        ],
+    )
+    return db
+
+
+def _hybrid_sql(prefix=""):
+    vec = "[" + ", ".join(["0.1"] * DIM) + "]"
+    return (
+        f"{prefix}SELECT id, dist FROM t WHERE views < 800 "
+        f"ORDER BY L2Distance(embedding, {vec}) AS dist LIMIT 5"
+    )
+
+
+class TestExplainAnalyze:
+    def test_span_tree_covers_query_stages(self):
+        db = _seeded_db()
+        result = db.execute(_hybrid_sql("EXPLAIN ANALYZE "))
+        assert isinstance(result, ExplainResult)
+        root = result.trace
+        for stage in ("parse", "plan", "prune", "execute", "segment_scan"):
+            assert root.find(stage) is not None, stage
+        scan = root.find("segment_scan")
+        assert scan.find("index_resolve").tags["tier"] == "built"
+        child_total = sum(child.duration for child in root.children)
+        assert child_total <= root.duration + 1e-12
+
+    def test_plan_cache_attribution(self):
+        db = _seeded_db()
+        first = db.execute(_hybrid_sql("EXPLAIN ANALYZE "))
+        second = db.execute(_hybrid_sql("EXPLAIN ANALYZE "))
+        assert first.trace.find("plan").tags["plan_cache"] == "miss"
+        assert second.trace.find("plan").tags["plan_cache"] == "hit"
+
+    def test_explain_shares_plan_cache_with_plain_query(self):
+        # EXPLAIN-prefixed and plain statements must normalize to the
+        # same plan-cache signature.
+        db = _seeded_db()
+        db.execute(_hybrid_sql())
+        result = db.execute(_hybrid_sql("EXPLAIN ANALYZE "))
+        assert result.trace.find("plan").tags["plan_cache"] == "hit"
+
+    def test_render_contains_rows_and_time(self):
+        db = _seeded_db()
+        text = db.execute(_hybrid_sql("EXPLAIN ANALYZE ")).render()
+        assert "EXPLAIN ANALYZE" in text
+        assert "strategy=" in text
+        assert "sim-ms" in text
+        assert "(5 rows" in text
+
+    def test_plain_explain_does_not_execute(self):
+        db = _seeded_db()
+        before = db.export_metrics().counter("delete_bitmap.filters")
+        result = db.execute(_hybrid_sql("EXPLAIN "))
+        assert result.result is None
+        assert result.trace.find("execute") is None
+        assert db.export_metrics().counter("delete_bitmap.filters") == before
+
+    def test_exporter_counts_plan_cache_through_public_surface(self):
+        db = _seeded_db()
+        db.execute(_hybrid_sql())
+        db.execute(_hybrid_sql())
+        exporter = db.export_metrics()
+        assert exporter.counter("plan_cache.misses") == 1
+        assert exporter.counter("plan_cache.hits") == 1
+        assert exporter.as_dict()["last_trace"]["name"] == "query"
+        assert "plan_cache_hits_total 1" in exporter.render()

@@ -28,6 +28,16 @@ class TestParameterize:
         )
         assert a == b
 
+    def test_nested_vector_literals_collapse_to_one_slot(self):
+        # Regression: nested brackets used to emit one "[?]" per nesting
+        # level, so equivalent queries missed the cache.
+        flat = parameterize("SELECT id FROM t ORDER BY L2Distance(v, [1.0, 2.0])")
+        nested = parameterize(
+            "SELECT id FROM t ORDER BY L2Distance(v, [[1.0, 2.0], [3.0, 4.0]])"
+        )
+        assert flat == nested
+        assert flat.count("[?]") == 1
+
     def test_structure_distinguished(self):
         a = parameterize("SELECT id FROM t WHERE x < 5")
         b = parameterize("SELECT id FROM t WHERE x > 5")

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.simulate.metrics import (
+    Histogram,
     LatencyRecorder,
     MetricRegistry,
     ThroughputWindow,
@@ -50,6 +51,15 @@ class TestLatencyRecorder:
 
     def test_qps_empty_is_zero(self):
         assert LatencyRecorder().qps() == 0.0
+
+    def test_qps_zero_cost_observations_is_infinite(self):
+        # Regression: N queries costing zero simulated time are infinitely
+        # fast, not 0 QPS — the all-memory-hit workload must not report
+        # as the slowest one.
+        rec = LatencyRecorder()
+        rec.extend([0.0, 0.0, 0.0])
+        assert rec.qps() == float("inf")
+        assert rec.count == 3
 
     def test_summary(self):
         rec = LatencyRecorder()
@@ -105,6 +115,36 @@ class TestThroughputWindow:
             ThroughputWindow(1.0).record(-1)
 
 
+class TestHistogram:
+    def test_observe_and_cumulative(self):
+        hist = Histogram(bounds=[0.001, 0.01, 0.1])
+        for value in (0.0005, 0.005, 0.05, 5.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.cumulative_counts() == [1, 2, 3]
+        assert hist.total == pytest.approx(5.0555)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().observe(-1.0)
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=[])
+
+    def test_bounds_sorted(self):
+        hist = Histogram(bounds=[0.1, 0.001])
+        assert hist.bounds == (0.001, 0.1)
+
+    def test_as_dict(self):
+        hist = Histogram(bounds=[1.0])
+        hist.observe(0.5)
+        d = hist.as_dict()
+        assert d["count"] == 1
+        assert d["cumulative"] == [1]
+        assert d["sum"] == pytest.approx(0.5)
+
+
 class TestMetricRegistry:
     def test_counters(self):
         registry = MetricRegistry()
@@ -125,3 +165,31 @@ class TestMetricRegistry:
         registry.reset()
         assert registry.count("a") == 0
         assert registry.latency("q").count == 0
+        assert registry.histogram("q").count == 0
+
+    def test_record_latency_feeds_histogram(self):
+        registry = MetricRegistry()
+        registry.record_latency("q", 0.2)
+        assert registry.histogram("q").count == 1
+
+    def test_as_dict_shape(self):
+        registry = MetricRegistry()
+        registry.incr("hits", 3)
+        registry.record_latency("q", 0.1)
+        registry.latency("silent")  # no observations → omitted
+        exported = registry.as_dict()
+        assert exported["counters"] == {"hits": 3}
+        assert exported["latencies"]["q"]["count"] == 1
+        assert "silent" not in exported["latencies"]
+        assert exported["histograms"]["q"]["count"] == 1
+
+    def test_render_prometheus_text(self):
+        registry = MetricRegistry()
+        registry.incr("cache.hits", 2)
+        registry.record_latency("query.latency", 0.25)
+        text = registry.render()
+        assert "# TYPE cache_hits_total counter" in text
+        assert "cache_hits_total 2" in text
+        assert 'query_latency_seconds{quantile="0.5"} 0.25' in text
+        assert "query_latency_seconds_count 1" in text
+        assert 'query_latency_seconds_bucket{le="+Inf"} 1' in text

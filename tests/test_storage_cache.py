@@ -31,6 +31,25 @@ class TestLRUCache:
         cache = LRUCache(4)
         assert not cache.put("big", b"xxxxx")
 
+    def test_oversize_put_evicts_stale_entry(self):
+        # Regression: replacing an entry with an oversize value must not
+        # leave the stale predecessor serving phantom hits.
+        cache = LRUCache(10)
+        cache.put("idx", b"old")
+        assert not cache.put("idx", b"x" * 20)
+        assert "idx" not in cache
+        assert cache.get("idx") is None
+        assert cache.used_bytes == 0
+        assert cache.evictions == 1
+
+    def test_oversize_put_leaves_other_entries_alone(self):
+        cache = LRUCache(10)
+        cache.put("keep", b"abcd")
+        assert not cache.put("big", b"x" * 20)
+        assert "keep" in cache
+        assert cache.used_bytes == 4
+        assert cache.evictions == 0
+
     def test_overwrite_updates_usage(self):
         cache = LRUCache(100)
         cache.put("a", b"x" * 50)
@@ -77,6 +96,14 @@ class TestSplitIndexCache:
         cache.clear()
         assert cache.get_meta("a") is None
         assert cache.get_data("b") is None
+
+    def test_oversize_data_put_evicts_stale_entry(self):
+        # The LRUCache oversize fix must propagate through put_data:
+        # a rebuilt index that no longer fits evicts its predecessor.
+        cache = SplitIndexCache(50, 10)
+        assert cache.put_data("idx", b"old")
+        assert not cache.put_data("idx", b"x" * 20)
+        assert cache.get_data("idx") is None
 
 
 class _FakeIndex:
@@ -149,3 +176,35 @@ class TestHierarchicalCache:
         cache.get("idx")
         memory_cost = clock.now - t2
         assert memory_cost < disk_cost < remote_cost
+
+    def test_backfill_order_remote_fills_disk_then_memory(self, hierarchy):
+        # A remote miss must back-fill *both* lower tiers so the next
+        # lookups resolve progressively closer: remote → memory, and
+        # after a RAM wipe, disk → memory again.
+        cache, disk, store = hierarchy
+        store.put("idx", b"payload")
+        _, tier = cache.get("idx")
+        assert tier == "remote"
+        assert "idx" in disk
+        assert cache.contains_in_memory("idx")
+        cache.clear_memory()
+        _, tier = cache.get("idx")
+        assert tier == "disk"
+        assert cache.contains_in_memory("idx")
+
+    def test_tier_latencies_strictly_increase_in_exported_metrics(
+        self, hierarchy, metrics
+    ):
+        # Same ordering as test_tier_costs_ordered, but observed through
+        # the exported per-tier latency metrics rather than the clock.
+        cache, _, store = hierarchy
+        store.put("idx", b"p" * 10_000)
+        cache.get("idx")        # remote
+        cache.clear_memory()
+        cache.get("idx")        # disk
+        cache.get("idx")        # memory
+        latencies = metrics.as_dict()["latencies"]
+        memory = latencies["index_cache.tier.memory"]["mean"]
+        disk = latencies["index_cache.tier.disk"]["mean"]
+        remote = latencies["index_cache.tier.remote"]["mean"]
+        assert memory < disk < remote
