@@ -11,7 +11,6 @@ Not a paper figure: this isolates the design choice behind §II-D
 
 import hashlib
 
-import pytest
 
 from benchmarks.common import fmt_table, record
 from repro.cluster.hashring import MultiProbeHashRing

@@ -18,7 +18,6 @@ import pytest
 from benchmarks.common import (
     best_at_recall,
     fmt_table,
-    measure_baseline,
     record,
     sweep_baseline,
     sweep_blendhouse,

@@ -12,7 +12,6 @@ We reproduce the three states on a warehouse over a 30k-row IVF world
 * *brute force* — serving disabled and all caches cleared per query.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.common import BENCH_COST, fmt_table, record

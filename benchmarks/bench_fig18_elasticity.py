@@ -11,7 +11,6 @@ dominates the query (the regime where the paper's near-linear scaling
 is visible); the serving/elasticity machinery is index-type agnostic.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.common import BENCH_COST, fmt_table, record

@@ -8,17 +8,16 @@ We ingest a stream of small batches with compaction disabled, sampling
 segment count and the QPS recover.
 """
 
-import numpy as np
 import pytest
 
-from benchmarks.common import BENCH_COST, fmt_table, record
+from benchmarks.common import BENCH_COST, fmt_table, record, smoke_scaled, write_bench_json
 from repro.core.database import BlendHouse
 from repro.workloads.datasets import make_cohere_like
 from repro.workloads.vectorbench import qps_from_latencies
 
 BATCH_ROWS = 150
-BATCHES = 16
-SAMPLE_EVERY = 4
+BATCHES = smoke_scaled(16, 12)
+SAMPLE_EVERY = smoke_scaled(4, 3)
 
 
 def vector_sql(vector):
@@ -79,6 +78,9 @@ def test_fig19_segment_count_vs_qps(benchmark, stream_results):
     ))
     record(benchmark, "samples", samples)
     record(benchmark, "compacted", compacted)
+    write_bench_json(
+        "fig19_segment_count", {"samples": samples, "compacted": compacted}
+    )
 
     counts = [segments for segments, _ in samples]
     qps = [q for _, q in samples]

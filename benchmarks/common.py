@@ -14,7 +14,9 @@ absolute values (see DESIGN.md §2).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import json
+import os
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,6 +32,37 @@ from repro.workloads.vectorbench import HybridWorkload, SweepPoint, qps_from_lat
 # first-byte latency keeps the compute/IO balance representative at
 # repro scale (DESIGN.md section 2).
 BENCH_COST = DeviceCostModel().scaled(object_store_latency_s=3e-3)
+
+# CI smoke mode: BENCH_SMOKE=1 shrinks the workloads so the bench job
+# finishes in a couple of minutes while exercising the same code paths
+# and assertions.
+BENCH_SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+
+def smoke_scaled(full: int, smoke: int) -> int:
+    """``full`` normally, ``smoke`` when BENCH_SMOKE is set."""
+    return smoke if BENCH_SMOKE else full
+
+
+def write_bench_json(name: str, payload: Any) -> str:
+    """Persist one benchmark's results as ``BENCH_<name>.json``.
+
+    CI uploads these as artifacts; the payload mirrors what the bench
+    attaches to pytest-benchmark's ``extra_info``.
+    """
+    path = os.path.join(os.getcwd(), f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=_json_safe)
+        handle.write("\n")
+    return path
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return str(value)
 
 
 def load_blendhouse(
@@ -190,3 +223,37 @@ def record(benchmark: Any, key: str, value: Any) -> None:
     if isinstance(value, np.generic):
         value = value.item()
     benchmark.extra_info[key] = value
+
+
+def measure_serial_latency(
+    db: BlendHouse, sqls: Sequence[str], include_planning: bool = True
+) -> Tuple[float, List[List[int]]]:
+    """(total simulated seconds, result ids) issuing queries one by one.
+
+    With ``include_planning`` the total is the clock delta around each
+    ``execute`` — the batched path pays its planning inside the
+    submission, so both sides of a serial-vs-batch comparison must count
+    it.  Without it the total is execution-only (each result's
+    ``simulated_seconds``), isolating the scan for fan-out comparisons.
+    """
+    total = 0.0
+    results: List[List[int]] = []
+    for sql in sqls:
+        start = db.clock.now
+        out = db.execute(sql)
+        if include_planning:
+            total += db.clock.now - start
+        else:
+            total += out.simulated_seconds
+        results.append([row[0] for row in out.rows])
+    return total, results
+
+
+def measure_batch_latency(
+    db: BlendHouse, sqls: Sequence[str]
+) -> Tuple[float, List[List[int]]]:
+    """(total simulated seconds, result ids) for one batched submission."""
+    start = db.clock.now
+    outs = db.execute_batch(list(sqls))
+    total = db.clock.now - start
+    return total, [[row[0] for row in out.rows] for out in outs]

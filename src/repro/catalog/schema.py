@@ -193,7 +193,8 @@ class TableSchema:
                     raise SchemaError(f"column {name!r} expects a string, got {value!r}")
                 out[name] = value
             else:
-                if isinstance(value, bool) or not isinstance(value, (int, float, np.integer, np.floating)):
+                numeric = (int, float, np.integer, np.floating)
+                if isinstance(value, bool) or not isinstance(value, numeric):
                     raise SchemaError(f"column {name!r} expects a number, got {value!r}")
                 if ctype is ColumnType.UINT64 and value < 0:
                     raise SchemaError(f"column {name!r} is unsigned but got {value}")

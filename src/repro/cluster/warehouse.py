@@ -27,6 +27,7 @@ from repro.cluster.scheduler import SegmentScheduler
 from repro.cluster.worker import Worker
 from repro.errors import NoWorkersError, WorkerUnavailableError
 from repro.executor.columnio import ColumnReader
+from repro.executor.parallel import lane_makespan
 from repro.observe.trace import Tracer, maybe_span
 from repro.executor.pipeline import (
     ExecContext,
@@ -56,6 +57,13 @@ class WarehouseConfig:
     worker_mem_data_bytes: int = 4 << 30
     worker_disk_bytes: int = 16 << 30
     max_query_retries: int = 1
+    # Simulated cores per worker: segment scans assigned to one worker
+    # run on this many concurrent lanes (LPT packing); 1 = serial.
+    worker_cores: int = 1
+    # Warehouse-wide admission control: at most this many segment scans
+    # in flight at once across all workers; 0 = unbounded.  Scans beyond
+    # the cap queue, surfacing in the ``warehouse.queue_depth`` metric.
+    max_inflight_scans: int = 0
 
 
 class VirtualWarehouse:
@@ -99,6 +107,7 @@ class VirtualWarehouse:
             metrics=self.metrics,
             mem_data_bytes=self.config.worker_mem_data_bytes,
             disk_bytes=self.config.worker_disk_bytes,
+            cores=self.config.worker_cores,
         )
         self.workers[worker_id] = worker
         self.scheduler.add_worker(worker_id)
@@ -219,36 +228,52 @@ class VirtualWarehouse:
         assignment = self.scheduler.assign(list(by_id))
         grouped = self.scheduler.group_by_worker(assignment)
 
+        # Admission control: the warehouse caps concurrent segment scans.
+        # Each worker's lane count is its core budget, further clamped by
+        # an even share of the warehouse-wide in-flight cap.
+        capacity = self.config.max_inflight_scans
+        active_workers = max(1, len(grouped))
+
         partials: List[PartialResult] = []
         worker_costs: List[float] = []
         for worker_id, segment_ids in grouped.items():
             worker = self.workers.get(worker_id)
             if worker is None or not worker.alive:
                 raise WorkerUnavailableError(f"worker {worker_id!r} is gone")
+            lanes = max(1, worker.cores)
+            if capacity > 0:
+                lanes = max(1, min(lanes, capacity // active_workers))
             with maybe_span(
                 self.tracer, "worker_scan",
                 worker=worker_id, segments=len(segment_ids),
             ) as scan_span:
-                with self.clock.capturing() as captured:
-                    ctx = ExecContext(
-                        clock=self.clock,
-                        cost=self.cost,
-                        params=params,
-                        reader=reader,
-                        resolve_index=self._resolver_for(worker, index_key_of),
-                        metrics=self.metrics,
-                        tracer=self.tracer,
-                    )
-                    for segment_id in segment_ids:
-                        segment = by_id[segment_id]
+                ctx = ExecContext(
+                    clock=self.clock,
+                    cost=self.cost,
+                    params=params,
+                    reader=reader,
+                    resolve_index=self._resolver_for(worker, index_key_of),
+                    metrics=self.metrics,
+                    tracer=self.tracer,
+                )
+                segment_costs: List[float] = []
+                for segment_id in segment_ids:
+                    segment = by_id[segment_id]
+                    with self.clock.capturing() as captured:
                         partials.append(
                             execute_segment(plan, segment, bitmaps.get(segment_id), ctx)
                         )
+                    segment_costs.append(captured.total)
                 if scan_span is not None:
                     # Charged cost, not wall time: the capturing block keeps
                     # the clock frozen, so span duration alone would read 0.
-                    scan_span.set_tag("cost_s", round(captured.total, 9))
-            worker_costs.append(captured.total)
+                    scan_span.set_tag("cost_s", round(sum(segment_costs), 9))
+                    scan_span.set_tag("lanes", lanes)
+            worker_costs.append(lane_makespan(segment_costs, lanes))
+            queued = max(0, len(segment_ids) - lanes)
+            if queued:
+                self.metrics.incr("warehouse.scans_queued", queued)
+            self.metrics.record_latency("warehouse.queue_depth", float(queued))
 
         makespan = max(worker_costs) if worker_costs else 0.0
         effective = makespan * self._interference_factor()

@@ -26,8 +26,8 @@ Session settings mirror the paper's ablation switches::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,6 +36,12 @@ from repro.catalog.schema import TableSchema
 from repro.core.table import TableRuntime
 from repro.errors import BlendHouseError, SQLError
 from repro.executor.columnio import ColumnReader, ReadOptConfig
+from repro.executor.parallel import (
+    BatchExecutionResult,
+    ParallelConfig,
+    execute_batch_on_segments,
+    execute_plan_on_segments_parallel,
+)
 from repro.executor.pipeline import ExecContext, QueryResult, execute_plan_on_segments
 from repro.ingest.update import apply_delete, apply_update
 from repro.ingest.writer import IngestConfig, IngestReport
@@ -88,6 +94,10 @@ class EngineSettings:
     nprobe: Optional[int] = None
     forced_strategy: Optional[str] = None  # brute_force / pre_filter / post_filter
     auto_compaction: bool = False
+    # Intra-query fan-out: per-segment scans run on this many simulated
+    # cores (and real threads).  1 = strictly serial execution; results
+    # are byte-identical either way, only simulated wall-time changes.
+    parallel_workers: int = 1
 
     _BOOL_KEYS = (
         "enable_cbo", "enable_plan_cache", "enable_short_circuit",
@@ -110,7 +120,7 @@ class EngineSettings:
             setattr(self, key, bool(int(value)) if not isinstance(value, bool) else value)
             return
         if key in ("ef_search", "nprobe", "semantic_prune_keep",
-                   "prefilter_row_threshold"):
+                   "prefilter_row_threshold", "parallel_workers"):
             setattr(self, key, int(value))
             return
         if key == "forced_strategy":
@@ -509,6 +519,23 @@ class BlendHouse:
                 [manager.segment(meta.segment_id) for meta in reserve],
             ]
 
+    def _parallel_config(self) -> ParallelConfig:
+        return ParallelConfig(max_workers=max(1, self.settings.parallel_workers))
+
+    def _execute_segments(
+        self,
+        plan: PhysicalPlan,
+        segments: List[Segment],
+        bitmaps: Dict[str, Any],
+        ctx: ExecContext,
+    ) -> QueryResult:
+        """Serial or fan-out execution, per the ``parallel_workers`` setting."""
+        if self.settings.parallel_workers > 1:
+            return execute_plan_on_segments_parallel(
+                plan, segments, bitmaps, ctx, self._parallel_config()
+            )
+        return execute_plan_on_segments(plan, segments, bitmaps, ctx)
+
     def _execute_select(self, sql: str, statement: Select) -> QueryResult:
         result, _ = self._run_select(sql, statement)
         return result
@@ -526,7 +553,7 @@ class BlendHouse:
         }
         start = self.clock.now
         with self.tracer.span("execute", segments=len(scheduled)) as span:
-            result = execute_plan_on_segments(plan, scheduled, bitmaps, ctx)
+            result = self._execute_segments(plan, scheduled, bitmaps, ctx)
             wanted = plan.logical.k or 0
             if (
                 reserve
@@ -538,7 +565,7 @@ class BlendHouse:
                 # estimated; schedule everything and redo the merge.
                 self.metrics.incr("pruning.adaptive_widenings")
                 span.set_tag("adaptive_widened", True)
-                result = execute_plan_on_segments(
+                result = self._execute_segments(
                     plan, scheduled + reserve, bitmaps, ctx
                 )
             span.set_tag("rows", len(result))
@@ -546,6 +573,167 @@ class BlendHouse:
         self.metrics.incr("queries")
         self.metrics.record_latency("query.latency", result.simulated_seconds)
         return result, plan
+
+    # ------------------------------------------------------------------
+    # Batched (nq > 1) queries
+    # ------------------------------------------------------------------
+    _METRIC_FUNCTIONS = {"l2": "L2Distance", "ip": "IPDistance",
+                         "cosine": "CosineDistance"}
+
+    def search_batch(
+        self,
+        table: str,
+        queries: Any,
+        k: int = 10,
+        output_columns: Sequence[str] = ("id",),
+        metric: Optional[str] = None,
+    ) -> BatchExecutionResult:
+        """Top-``k`` vector search for every row of ``queries`` at once.
+
+        The batch is planned once (one optimizer pass, rebound per query
+        vector), each scheduled segment is scanned a single time for all
+        queries probing it — brute-force and IVF distance computation run
+        as one ``(nq, n)`` kernel — and segment scans fan out across the
+        ``parallel_workers`` lanes.  Results match issuing the queries
+        one at a time through SQL (bit-for-bit under the ``l2`` metric).
+        """
+        query_matrix = np.asarray(queries, dtype=np.float32)
+        if query_matrix.ndim == 1:
+            query_matrix = query_matrix.reshape(1, -1)
+        runtime = self.table(table)
+        schema = runtime.entry.schema
+        if metric is None:
+            metric = schema.index_spec.metric if schema.index_spec else "l2"
+        function = self._METRIC_FUNCTIONS.get(metric)
+        if function is None:
+            raise SQLError(f"unknown metric {metric!r} for batched search")
+        literal = "[" + ",".join(
+            repr(float(x)) for x in query_matrix[0].tolist()
+        ) + "]"
+        columns = ", ".join(output_columns)
+        sql = (
+            f"SELECT {columns}, dist FROM {table} "
+            f"ORDER BY {function}(embedding_placeholder, {literal}) AS dist LIMIT {int(k)}"
+        ).replace("embedding_placeholder", schema.vector_column)
+        with self.tracer.span("batch_query", queries=int(query_matrix.shape[0])):
+            statement = parse_statement(sql)
+            if not isinstance(statement, Select):  # pragma: no cover - defensive
+                raise SQLError("batched search must compile to a SELECT")
+            template = self._plan_select(sql, statement)
+            return self._run_batch(runtime, template, query_matrix)
+
+    def execute_batch(self, sqls: Sequence[str]) -> List[Any]:
+        """Execute several SQL statements submitted as one batch.
+
+        When every statement is a pure vector top-k SELECT with the same
+        shape (same table, k, metric, projection; no scalar predicate or
+        distance range), the whole batch runs through the vectorized
+        multi-query engine.  Anything else falls back to sequential
+        execution, statement by statement.
+        """
+        if not sqls:
+            return []
+        parsed = [parse_statement(sql) for sql in sqls]
+        plans: List[PhysicalPlan] = []
+        batchable = all(isinstance(statement, Select) for statement in parsed)
+        if batchable:
+            with self.tracer.span("batch_query", queries=len(sqls)):
+                for sql, statement in zip(sqls, parsed):
+                    plans.append(self._plan_select(sql, statement))
+                if self._plans_batchable(plans):
+                    runtime = self.table(plans[0].logical.table)
+                    query_matrix = np.stack([
+                        plan.logical.distance.query_vector for plan in plans
+                    ])
+                    batch = self._run_batch(runtime, plans[0], query_matrix)
+                    return list(batch.results)
+        # Mixed or non-batchable statements: sequential fallback.
+        self.metrics.incr("batch.fallbacks")
+        return [self.execute(sql) for sql in sqls]
+
+    def _plans_batchable(self, plans: List[PhysicalPlan]) -> bool:
+        if not plans:
+            return False
+        head = plans[0].logical
+        if not head.is_vector_query or head.scalar_predicate is not None:
+            return False
+        if head.distance_range is not None or head.offset:
+            return False
+        for plan in plans[1:]:
+            logical = plan.logical
+            if (
+                logical.table != head.table
+                or not logical.is_vector_query
+                or logical.scalar_predicate is not None
+                or logical.distance_range is not None
+                or logical.offset
+                or logical.k != head.k
+                or logical.distance.metric != head.distance.metric
+                or logical.output_columns != head.output_columns
+            ):
+                return False
+        return True
+
+    def _run_batch(
+        self,
+        runtime: TableRuntime,
+        template: PhysicalPlan,
+        query_matrix: np.ndarray,
+    ) -> BatchExecutionResult:
+        """Plan rebinding + scheduling + batched execution for one batch."""
+        if template.logical.scalar_predicate is not None:
+            raise SQLError("batched search does not support scalar predicates")
+        plans: List[PhysicalPlan] = []
+        for row in range(query_matrix.shape[0]):
+            logical = replace(
+                template.logical,
+                distance=replace(
+                    template.logical.distance, query_vector=query_matrix[row]
+                ),
+            )
+            plans.append(template.rebound(logical))
+        ctx = self._exec_context(runtime)
+        segments_by_query: List[List[Segment]] = []
+        reserve_by_query: List[List[Segment]] = []
+        for plan in plans:
+            scheduled, reserve = self._select_segments(runtime, plan)
+            segments_by_query.append(scheduled)
+            reserve_by_query.append(reserve)
+        bitmaps = {
+            segment.segment_id: runtime.manager.bitmap(segment.segment_id)
+            for scheduled in segments_by_query
+            for segment in scheduled
+        }
+        for reserve in reserve_by_query:
+            for segment in reserve:
+                bitmaps.setdefault(
+                    segment.segment_id, runtime.manager.bitmap(segment.segment_id)
+                )
+        start = self.clock.now
+        with self.tracer.span("execute_batch", queries=len(plans)):
+            batch = execute_batch_on_segments(
+                plans, segments_by_query, bitmaps, ctx, self._parallel_config()
+            )
+            wanted = template.logical.k or 0
+            if self.settings.adaptive_widening and wanted:
+                for position, result in enumerate(batch.results):
+                    if reserve_by_query[position] and len(result) < wanted:
+                        # Per-query adaptive widening: redo just the
+                        # under-filled query over every candidate segment.
+                        self.metrics.incr("pruning.adaptive_widenings")
+                        batch.results[position] = self._execute_segments(
+                            plans[position],
+                            segments_by_query[position] + reserve_by_query[position],
+                            bitmaps,
+                            ctx,
+                        )
+        batch.simulated_seconds = self.clock.elapsed_since(start)
+        nq = len(plans)
+        for result in batch.results:
+            result.simulated_seconds = batch.simulated_seconds / max(1, nq)
+        self.metrics.incr("queries", nq)
+        self.metrics.record_latency("batch.latency", batch.simulated_seconds)
+        return batch
 
     # ------------------------------------------------------------------
     # EXPLAIN

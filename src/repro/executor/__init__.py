@@ -8,9 +8,20 @@
   split-buffer cache (§IV-C).
 * :mod:`repro.executor.pipeline` — per-segment plan execution and the
   global partial top-k merge.
+* :mod:`repro.executor.parallel` — intra-query parallel segment fan-out
+  (thread pool + lane-makespan simulated accounting) and batched
+  ``nq > 1`` multi-query execution.
 """
 
 from repro.executor.columnio import ColumnReader, ReadOptConfig
+from repro.executor.parallel import (
+    BatchExecutionResult,
+    ParallelConfig,
+    execute_batch_on_segments,
+    execute_plan_on_segments_parallel,
+    fan_out,
+    lane_makespan,
+)
 from repro.executor.pipeline import (
     ExecContext,
     PartialResult,
@@ -19,10 +30,16 @@ from repro.executor.pipeline import (
 )
 
 __all__ = [
+    "BatchExecutionResult",
     "ColumnReader",
     "ExecContext",
+    "ParallelConfig",
     "PartialResult",
     "QueryResult",
     "ReadOptConfig",
+    "execute_batch_on_segments",
     "execute_plan_on_segments",
+    "execute_plan_on_segments_parallel",
+    "fan_out",
+    "lane_makespan",
 ]

@@ -15,7 +15,7 @@ bitmap scans add the per-record bitmap test.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Protocol
+from typing import Any, Optional, Protocol
 
 import numpy as np
 

@@ -70,7 +70,8 @@ class ColumnReader:
         block_bytes = segment.meta.nbytes_by_column.get(column, 8 * segment.row_count)
         if self.config.use_block_cache and n_rows <= self.config.cache_row_limit:
             if self._cache.get_data(key) is not None:
-                self._clock.advance(self._cost.ram_read(int(n_rows * self._cell_bytes(segment, column))))
+                hit_bytes = int(n_rows * self._cell_bytes(segment, column))
+                self._clock.advance(self._cost.ram_read(hit_bytes))
                 self._metrics.incr("columnio.cache_hits")
                 return
             # Miss: fetch (possibly reduced) then populate the cache.
@@ -93,6 +94,17 @@ class ColumnReader:
             # Full-block read: the read-amplification baseline.
             self._clock.advance(self._cost.object_store_read(int(block_bytes)))
             self._metrics.incr("columnio.block_reads")
+
+    def for_task(self, metrics: Optional[MetricRegistry] = None) -> "ColumnReader":
+        """A reader for one parallel scan task: same clock/cost/config,
+        private metrics and a private block cache.
+
+        Parallel per-segment tasks must not share the mutable LRU state
+        (or a metrics registry) across threads; block-cache keys are
+        per-segment anyway, so within one query nothing is lost by
+        splitting the cache.
+        """
+        return ColumnReader(self._clock, self._cost, metrics, self.config)
 
     # ------------------------------------------------------------------
     # Data access

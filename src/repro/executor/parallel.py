@@ -1,0 +1,439 @@
+"""Intra-query parallel segment fan-out and batched multi-query execution.
+
+The paper's execution flow (Fig 2) runs the chosen physical plan on every
+scheduled segment *concurrently* — BlendHouse workers are 80-core
+machines — and merges partial top-k results afterwards.  This module adds
+that fan-out to the reproduction:
+
+* :func:`fan_out` runs per-segment scan tasks on a real
+  :class:`~concurrent.futures.ThreadPoolExecutor` (the numpy distance
+  kernels release the GIL), with each task's simulated charges captured
+  in a thread-local :class:`~repro.simulate.clock.CostCapture`.
+* :func:`lane_makespan` converts the captured per-task costs into one
+  deterministic simulated wall-time: tasks are packed onto ``lanes``
+  simulated cores with longest-processing-time-first scheduling, and the
+  clock advances by the busiest lane — *max* over concurrent scans, not
+  the sum.
+* :func:`execute_plan_on_segments_parallel` is the parallel counterpart
+  of :func:`repro.executor.pipeline.execute_plan_on_segments`.  Partial
+  results are collected in scheduling order and the global merge keeps
+  its stable ``(distance, segment_id, offset)`` tie-breaking, so the
+  final top-k is byte-identical to the serial path for any pool size.
+* :func:`execute_batch_on_segments` executes ``nq > 1`` same-shape
+  vector queries together: each segment is scanned once for the whole
+  batch, with brute-force distances computed as a single ``(nq, n)``
+  GEMM (see :func:`repro.vindex.api.pairwise_distance_batch`) charged at
+  the batched rate.
+
+Determinism is load-bearing here: completion order of threads is
+arbitrary, so nothing downstream of the pool may depend on it.  Results
+and metrics are indexed by task position, metrics registries are merged
+in input order after the join, and per-segment trace spans are emitted
+post-hoc by the coordinating thread (the shared tracer's span stack is
+not thread-safe).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.executor.pipeline import (
+    ExecContext,
+    PartialResult,
+    QueryResult,
+    _charger,
+    _execute_segment,
+    _merge_partials,
+    _project,
+    _structured_scan_mask,
+    execute_plan_on_segments,
+)
+from repro.observe.trace import maybe_span
+from repro.planner.optimizer import ExecutionStrategy, PhysicalPlan
+from repro.simulate.clock import SimulatedClock
+from repro.simulate.metrics import MetricRegistry
+from repro.storage.deletebitmap import DeleteBitmap
+from repro.storage.segment import Segment
+from repro.vindex.api import pairwise_distance_batch, top_k_from_distances
+
+DEFAULT_PARALLEL_WORKERS = 8
+
+
+@dataclass
+class ParallelConfig:
+    """Knobs for the intra-query fan-out.
+
+    ``max_workers`` is both the thread-pool size and the number of
+    simulated cores scans are packed onto; ``1`` reproduces the serial
+    path exactly (one lane ⇒ makespan = sum of scan costs).
+    """
+
+    max_workers: int = DEFAULT_PARALLEL_WORKERS
+    min_segments: int = 2            # below this, fan-out overhead isn't worth it
+
+    def effective_workers(self, n_tasks: int) -> int:
+        """Lanes actually used for ``n_tasks`` tasks."""
+        return max(1, min(self.max_workers, n_tasks))
+
+
+def lane_makespan(costs: Sequence[float], lanes: int) -> float:
+    """Deterministic makespan of ``costs`` packed onto ``lanes`` cores.
+
+    Longest-processing-time-first greedy assignment: sort costs
+    descending (stable), place each on the least-loaded lane (lowest
+    index on ties).  With one lane this is exactly the serial sum; with
+    ``lanes >= len(costs)`` it is the maximum single cost.
+    """
+    if not costs:
+        return 0.0
+    lanes = max(1, int(lanes))
+    if lanes == 1:
+        return float(sum(costs))
+    loads = [0.0] * min(lanes, len(costs))
+    for cost in sorted(costs, reverse=True):
+        slot = min(range(len(loads)), key=loads.__getitem__)
+        loads[slot] += cost
+    return max(loads)
+
+
+def fan_out(
+    clock: SimulatedClock,
+    tasks: Sequence[Callable[[], object]],
+    pool_size: int,
+) -> Tuple[List[object], List[float]]:
+    """Run ``tasks`` concurrently; returns (results, costs) in task order.
+
+    Each task executes under a thread-local cost capture on the shared
+    clock, so real threads overlap wall-clock work while every simulated
+    charge a task makes (distance kernels, column reads, index loads)
+    accumulates privately.  The caller decides how captured costs map to
+    simulated time — normally :func:`lane_makespan`.
+    """
+    results: List[object] = [None] * len(tasks)
+    costs: List[float] = [0.0] * len(tasks)
+
+    def run(position: int) -> Tuple[int, object, float]:
+        with clock.capturing() as captured:
+            out = tasks[position]()
+        return position, out, captured.total
+
+    if pool_size <= 1 or len(tasks) <= 1:
+        for position in range(len(tasks)):
+            _, results[position], costs[position] = run(position)
+        return results, costs
+    with ThreadPoolExecutor(max_workers=pool_size) as pool:
+        for position, out, cost in pool.map(run, range(len(tasks))):
+            results[position] = out
+            costs[position] = cost
+    return results, costs
+
+
+def _locked_resolver(ctx: ExecContext, lock: threading.Lock):
+    """Serialize index resolution: it mutates shared caches (memoized
+    loads, LRU tiers) that are not safe under concurrent mutation."""
+
+    def resolve(segment: Segment):
+        with lock:
+            return ctx.resolve_index(segment)
+
+    return resolve
+
+
+def execute_plan_on_segments_parallel(
+    plan: PhysicalPlan,
+    segments: List[Segment],
+    bitmaps: Dict[str, DeleteBitmap],
+    ctx: ExecContext,
+    config: Optional[ParallelConfig] = None,
+) -> QueryResult:
+    """Run ``plan`` over ``segments`` with intra-query parallelism.
+
+    Byte-identical results to the serial path: partials are ordered by
+    scheduling position and the merge's stable tie-breaking is
+    completion-order independent.  Simulated wall-time is the lane
+    makespan of the per-segment scan costs (gated by ``max_workers``
+    simulated cores) plus the serial merge/projection tail.
+    """
+    config = config or ParallelConfig()
+    if len(segments) < max(2, config.min_segments) or config.max_workers <= 1:
+        return execute_plan_on_segments(plan, segments, bitmaps, ctx)
+
+    start = ctx.clock.now
+    lanes = config.effective_workers(len(segments))
+    resolve_lock = threading.Lock()
+    resolve = _locked_resolver(ctx, resolve_lock)
+    task_metrics = [MetricRegistry() for _ in segments]
+
+    def make_task(position: int, segment: Segment) -> Callable[[], PartialResult]:
+        def run() -> PartialResult:
+            task_ctx = ExecContext(
+                clock=ctx.clock,
+                cost=ctx.cost,
+                params=ctx.params,
+                reader=ctx.reader.for_task(task_metrics[position]),
+                resolve_index=resolve,
+                metrics=task_metrics[position],
+                tracer=None,  # the span stack is not thread-safe
+            )
+            return _execute_segment(
+                plan, segment, bitmaps.get(segment.segment_id), task_ctx
+            )
+        return run
+
+    tasks = [make_task(i, segment) for i, segment in enumerate(segments)]
+    with maybe_span(ctx.tracer, "parallel_fanout",
+                    segments=len(segments), workers=lanes) as fan_span:
+        partials, costs = fan_out(ctx.clock, tasks, lanes)
+        for registry in task_metrics:
+            ctx.metrics.merge(registry)
+        # Post-hoc per-segment spans: zero-duration (the scans ran under
+        # captures, so the shared clock never moved), with the charged
+        # cost attached the same way warehouse worker scans record it.
+        for position, segment in enumerate(segments):
+            with maybe_span(ctx.tracer, "segment_scan",
+                            segment=segment.segment_id,
+                            strategy=plan.strategy.value) as span:
+                if span is not None:
+                    span.set_tag("rows", int(partials[position].offsets.size))
+                    span.set_tag("cost_s", round(costs[position], 9))
+        makespan = lane_makespan(costs, lanes)
+        if fan_span is not None:
+            fan_span.set_tag("makespan_s", round(makespan, 9))
+        ctx.clock.advance(makespan)
+    ctx.metrics.incr("parallel.fanouts")
+    ctx.metrics.incr("parallel.segments_scanned", len(segments))
+    ctx.metrics.record_latency("parallel.makespan", makespan)
+
+    result = merge_ordered(plan, list(partials), ctx, len(segments))
+    result.simulated_seconds = ctx.clock.elapsed_since(start)
+    return result
+
+
+def merge_ordered(
+    plan: PhysicalPlan,
+    partials: List[PartialResult],
+    ctx: ExecContext,
+    segments_scanned: int,
+) -> QueryResult:
+    """Serial merge + projection tail shared by the fan-out paths."""
+    with maybe_span(ctx.tracer, "merge_project",
+                    partials=len(partials)) as span:
+        merged = _merge_partials(plan, partials)
+        names, rows = _project(plan, merged, ctx)
+        if span is not None:
+            span.set_tag("rows", len(rows))
+        return QueryResult(
+            columns=names,
+            rows=rows,
+            strategy=plan.strategy,
+            segments_scanned=segments_scanned,
+        )
+
+
+# ----------------------------------------------------------------------
+# Batched (nq > 1) execution
+# ----------------------------------------------------------------------
+@dataclass
+class BatchExecutionResult:
+    """Results of one batched submission.
+
+    ``simulated_seconds`` is the whole batch's wall-time on the simulated
+    clock; each contained :class:`QueryResult` carries the batch-average
+    share so per-query latency series stay populated.
+    """
+
+    results: List[QueryResult]
+    simulated_seconds: float = 0.0
+    segments_scanned: int = 0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index: int) -> QueryResult:
+        return self.results[index]
+
+
+def _batch_scan_segment(
+    plans: List[PhysicalPlan],
+    query_positions: List[int],
+    segment: Segment,
+    bitmap: Optional[DeleteBitmap],
+    ctx: ExecContext,
+) -> List[Tuple[int, PartialResult]]:
+    """Scan one segment for every query in ``query_positions`` at once.
+
+    Brute-force scans (and index-less fallbacks) use one ``(nq, n)``
+    batched distance kernel charged at the GEMM rate; index-backed scans
+    go through the provider's ``search_batch`` (vectorized for FLAT and
+    IVF, a per-query loop for graph indexes, which cannot batch their
+    traversals).
+    """
+    representative = plans[query_positions[0]]
+    queries = np.stack([
+        plans[position].logical.distance.query_vector
+        for position in query_positions
+    ])
+    metric = representative.logical.distance.metric
+    k = representative.logical.k or 10
+    nq = len(query_positions)
+
+    # Alive/predicate mask computed once for the whole batch — deletes
+    # and structured-scan cost amortize across the nq queries.  A segment
+    # with nothing deleted and no predicate scans unmasked, exactly like
+    # the serial ANN_ONLY path, so index traversals see the same inputs.
+    if (
+        representative.logical.scalar_predicate is None
+        and (bitmap is None or bitmap.deleted_count == 0)
+    ):
+        mask = None
+    else:
+        mask = _structured_scan_mask(representative, segment, bitmap, ctx)
+
+    provider = None
+    if representative.use_index and representative.strategy is not ExecutionStrategy.BRUTE_FORCE:
+        with maybe_span(ctx.tracer, "index_resolve", segment=segment.segment_id):
+            provider = ctx.resolve_index(segment)
+
+    out: List[Tuple[int, PartialResult]] = []
+    if provider is not None and getattr(provider, "supports_batch", False):
+        batch = provider.search_batch(
+            queries, k, bitset=mask, **representative.search_params
+        )
+        total_visited = sum(result.visited for result in batch)
+        mean_visited = total_visited / max(1, nq)
+        ctx.clock.advance(
+            ctx.cost.distance_cost_batch(nq, int(round(mean_visited)), segment.dim)
+        )
+        ctx.metrics.incr("annscan.batch_visited", total_visited)
+        for position, result in zip(query_positions, batch):
+            out.append((position, PartialResult(segment, result.ids, result.distances)))
+        return out
+    if provider is not None:
+        # No vectorized batch (graph traversal): per-query searches at
+        # the normal single-query rate.
+        charger = _charger(ctx, segment)
+        for position in query_positions:
+            plan = plans[position]
+            result = provider.search_with_filter(
+                plan.logical.distance.query_vector, k, bitset=mask,
+                **plan.search_params,
+            )
+            charger.charge_visits(result.visited, with_bitmap=mask is not None)
+            out.append((position, PartialResult(segment, result.ids, result.distances)))
+        return out
+
+    # Brute force: one batched GEMM over the alive rows.
+    if mask is None:
+        offsets = np.arange(segment.row_count, dtype=np.int64)
+    else:
+        offsets = np.flatnonzero(mask)
+    if offsets.size == 0:
+        empty = PartialResult(
+            segment, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        )
+        return [(position, empty) for position in query_positions]
+    vectors = segment.vectors_at(offsets)
+    distances = pairwise_distance_batch(queries, vectors, metric)
+    ctx.clock.advance(ctx.cost.distance_cost_batch(nq, int(offsets.size), segment.dim))
+    ctx.metrics.incr("annscan.batch_brute_rows", int(offsets.size) * nq)
+    for row, position in enumerate(query_positions):
+        result = top_k_from_distances(
+            offsets, distances[row], k, visited=int(offsets.size)
+        )
+        out.append((position, PartialResult(segment, result.ids, result.distances)))
+    return out
+
+
+def execute_batch_on_segments(
+    plans: List[PhysicalPlan],
+    segments_by_query: List[List[Segment]],
+    bitmaps: Dict[str, DeleteBitmap],
+    ctx: ExecContext,
+    config: Optional[ParallelConfig] = None,
+) -> BatchExecutionResult:
+    """Execute ``nq`` same-shape vector queries as one batch.
+
+    Queries sharing a segment are scanned together (one mask, one index
+    resolution, one batched distance kernel per segment); segment tasks
+    then fan out across the parallel lanes like single-query execution.
+    """
+    config = config or ParallelConfig()
+    if not plans:
+        return BatchExecutionResult(results=[])
+    start = ctx.clock.now
+
+    # segment -> positions of the queries scanning it, in query order.
+    segment_order: List[Segment] = []
+    positions_by_segment: Dict[str, List[int]] = {}
+    segment_by_id: Dict[str, Segment] = {}
+    for position, scheduled in enumerate(segments_by_query):
+        for segment in scheduled:
+            if segment.segment_id not in positions_by_segment:
+                positions_by_segment[segment.segment_id] = []
+                segment_order.append(segment)
+                segment_by_id[segment.segment_id] = segment
+            positions_by_segment[segment.segment_id].append(position)
+
+    lanes = config.effective_workers(max(1, len(segment_order)))
+    resolve_lock = threading.Lock()
+    resolve = _locked_resolver(ctx, resolve_lock)
+    task_metrics = [MetricRegistry() for _ in segment_order]
+
+    def make_task(task_index: int, segment: Segment):
+        def run() -> List[Tuple[int, PartialResult]]:
+            task_ctx = ExecContext(
+                clock=ctx.clock,
+                cost=ctx.cost,
+                params=ctx.params,
+                reader=ctx.reader.for_task(task_metrics[task_index]),
+                resolve_index=resolve,
+                metrics=task_metrics[task_index],
+                tracer=None,
+            )
+            return _batch_scan_segment(
+                plans, positions_by_segment[segment.segment_id], segment,
+                bitmaps.get(segment.segment_id), task_ctx,
+            )
+        return run
+
+    tasks = [make_task(i, segment) for i, segment in enumerate(segment_order)]
+    with maybe_span(ctx.tracer, "batch_fanout",
+                    queries=len(plans), segments=len(segment_order),
+                    workers=lanes) as fan_span:
+        scans, costs = fan_out(ctx.clock, tasks, lanes)
+        for registry in task_metrics:
+            ctx.metrics.merge(registry)
+        makespan = lane_makespan(costs, lanes)
+        if fan_span is not None:
+            fan_span.set_tag("makespan_s", round(makespan, 9))
+        ctx.clock.advance(makespan)
+    ctx.metrics.incr("batch.submissions")
+    ctx.metrics.incr("batch.queries", len(plans))
+    ctx.metrics.record_latency("batch.makespan", makespan)
+
+    partials_by_query: List[List[PartialResult]] = [[] for _ in plans]
+    for scan in scans:
+        for position, partial in scan:
+            partials_by_query[position].append(partial)
+
+    results: List[QueryResult] = []
+    for position, plan in enumerate(plans):
+        results.append(
+            merge_ordered(
+                plan, partials_by_query[position], ctx,
+                len(segments_by_query[position]),
+            )
+        )
+    elapsed = ctx.clock.elapsed_since(start)
+    for result in results:
+        result.simulated_seconds = elapsed / max(1, len(plans))
+    return BatchExecutionResult(
+        results=results,
+        simulated_seconds=elapsed,
+        segments_scanned=len(segment_order),
+    )

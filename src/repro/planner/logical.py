@@ -15,7 +15,7 @@ the engine executes with the same machinery minus the ANN operator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np

@@ -11,8 +11,9 @@ A clock may be *frozen* for code paths that must not accrue simulated cost
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterator, List
 
 
 class CostCapture:
@@ -40,7 +41,21 @@ class SimulatedClock:
             raise ValueError("clock cannot start before time zero")
         self._now = float(start)
         self._frozen_depth = 0
-        self._captures: list = []
+        # Capture stacks are per-thread: a parallel fan-out opens one
+        # capture in each worker thread, and every charge a thread makes
+        # (distance kernels, column reads, index loads) lands in *its*
+        # capture without racing the shared timeline.
+        self._captures_local = threading.local()
+        self._lock = threading.Lock()
+
+    @property
+    def _captures(self) -> List[CostCapture]:
+        """The calling thread's capture stack (created on first use)."""
+        stack = getattr(self._captures_local, "stack", None)
+        if stack is None:
+            stack = []
+            self._captures_local.stack = stack
+        return stack
 
     @property
     def now(self) -> float:
@@ -63,11 +78,13 @@ class SimulatedClock:
             raise ValueError(f"cannot advance clock by negative time: {seconds}")
         if self.frozen:
             return self._now
-        if self._captures:
-            self._captures[-1].add(seconds)
+        captures = self._captures
+        if captures:
+            captures[-1].add(seconds)
             return self._now
-        self._now += seconds
-        return self._now
+        with self._lock:
+            self._now += seconds
+            return self._now
 
     def advance_to(self, timestamp: float) -> float:
         """Move the clock forward to ``timestamp`` if it is in the future.
@@ -75,8 +92,10 @@ class SimulatedClock:
         Used by schedulers that wait for an event completing at a known
         time; moving to a past timestamp is a no-op (never rewinds).
         """
-        if not self.frozen and timestamp > self._now:
-            self._now = timestamp
+        if not self.frozen:
+            with self._lock:
+                if timestamp > self._now:
+                    self._now = timestamp
         return self._now
 
     def elapsed_since(self, mark: float) -> float:
@@ -103,6 +122,10 @@ class SimulatedClock:
         Used to model parallelism: a virtual warehouse captures each
         worker's charged cost separately, then advances the clock by the
         *maximum* (the makespan), not the sum.
+
+        Capture stacks are thread-local, so concurrent fan-out threads
+        each capture their own charges; the shared timeline only moves
+        when the coordinating thread advances it by the makespan.
         """
         capture = CostCapture()
         self._captures.append(capture)

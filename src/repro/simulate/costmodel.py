@@ -56,6 +56,11 @@ class DeviceCostModel:
     # roughly an order of magnitude cheaper per flop than branch-heavy
     # graph traversal.
     kmeans_iter_flop_s: float = 5e-11        # per dim per point per centroid
+    # Batched multi-query distance computation is one (nq, n) GEMM
+    # instead of nq GEMVs; dense GEMM sustains several-fold higher
+    # arithmetic throughput than repeated matrix-vector products, which
+    # is the amortization batched nq > 1 serving relies on.
+    batch_gemm_speedup: float = 4.0
 
     def transfer_time(self, nbytes: int, latency_s: float, bandwidth_bps: float) -> float:
         """Latency plus bandwidth-proportional time to move ``nbytes``."""
@@ -95,6 +100,21 @@ class DeviceCostModel:
     def distance_cost(self, n_vectors: int, dim: int) -> float:
         """Cost of exact pairwise distances against ``n_vectors`` of ``dim``."""
         return n_vectors * dim * self.distance_flop_s
+
+    def distance_cost_batch(self, n_queries: int, n_vectors: int, dim: int) -> float:
+        """Cost of one batched (nq, n) distance computation.
+
+        Charges the same flop count as ``n_queries`` single-query scans
+        divided by :attr:`batch_gemm_speedup`; a single-query "batch" is
+        charged exactly like the scalar path so batched and sequential
+        execution agree at nq = 1.
+        """
+        if n_queries <= 1:
+            return self.distance_cost(n_vectors, dim) * max(0, n_queries)
+        return (
+            n_queries * n_vectors * dim * self.distance_flop_s
+            / max(1.0, self.batch_gemm_speedup)
+        )
 
     def adc_cost(self, n_codes: int, n_subquantizers: int) -> float:
         """Cost of asymmetric distance computation over PQ codes."""

@@ -185,6 +185,20 @@ class Histogram:
                 self.bucket_counts[i] += 1
                 break
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s observations into this histogram.
+
+        Requires identical bucket bounds (both sides use the defaults in
+        practice; parallel scan tasks record into private registries that
+        are merged deterministically after the fan-out joins).
+        """
+        if self.bounds != other.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for i, count in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += count
+        self.count += other.count
+        self.total += other.total
+
     def cumulative_counts(self) -> List[int]:
         """Cumulative count per bound (Prometheus ``le`` buckets)."""
         out: List[int] = []
@@ -244,6 +258,24 @@ class MetricRegistry:
     def histogram(self, name: str) -> Histogram:
         """Histogram for ``name``, created on first use."""
         return self.histograms[name]
+
+    def merge(self, other: "MetricRegistry") -> None:
+        """Fold ``other``'s counters, latencies, and histograms into this
+        registry.
+
+        Parallel scan tasks record into private registries so concurrent
+        threads never race on shared dicts; after the fan-out joins, the
+        coordinator merges them in deterministic (input) order.
+        """
+        for name, delta in other.counters.items():
+            self.counters[name] += delta
+        for name, recorder in other.latencies.items():
+            self.latencies[name].extend(recorder.values)
+        for name, histogram in other.histograms.items():
+            if name in self.histograms:
+                self.histograms[name].merge(histogram)
+            else:
+                self.histograms[name] = histogram
 
     def as_dict(self) -> Dict[str, Dict[str, object]]:
         """Exported snapshot: the public surface benches assert against.

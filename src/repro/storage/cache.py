@@ -17,7 +17,6 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Callable, Optional, Tuple
 
-from repro.errors import ObjectNotFoundError
 from repro.observe.trace import Tracer, maybe_span
 from repro.simulate.clock import SimulatedClock
 from repro.simulate.costmodel import DeviceCostModel

@@ -23,6 +23,7 @@ from repro.vindex.api import (
     SearchResult,
     VectorIndex,
     pairwise_distance,
+    pairwise_distance_batch,
 )
 from repro.vindex.autoindex import select_ivf_nlist
 from repro.vindex.flat import FlatIndex
@@ -50,6 +51,7 @@ __all__ = [
     "create_index",
     "deserialize_index",
     "pairwise_distance",
+    "pairwise_distance_batch",
     "registered_types",
     "select_ivf_nlist",
 ]

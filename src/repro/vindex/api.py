@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -48,6 +48,43 @@ def pairwise_distance(query: np.ndarray, vectors: np.ndarray, metric: str = "l2"
         denom = np.linalg.norm(vectors, axis=1) * (np.linalg.norm(query) or 1.0)
         denom = np.where(denom == 0, 1.0, denom)
         return 1.0 - (vectors @ query) / denom
+    raise IndexParameterError(f"unknown metric {metric!r}; expected one of {SUPPORTED_METRICS}")
+
+
+def pairwise_distance_batch(
+    queries: np.ndarray, vectors: np.ndarray, metric: str = "l2"
+) -> np.ndarray:
+    """Distances between each of ``nq`` queries and each row of ``vectors``.
+
+    Returns an ``(nq, n)`` matrix.  For ``l2`` the arithmetic per element
+    matches :func:`pairwise_distance` exactly (same subtract-then-reduce),
+    so batched and per-query execution agree bit-for-bit.  ``ip`` and
+    ``cosine`` go through one GEMM instead of ``nq`` GEMVs, which may
+    differ from the sequential kernel in the last ulp (BLAS accumulation
+    order); callers needing bitwise reproducibility across batch sizes
+    should use ``l2``.
+    """
+    queries = np.asarray(queries, dtype=np.float32)
+    vectors = np.asarray(vectors, dtype=np.float32)
+    if queries.ndim == 1:
+        queries = queries.reshape(1, -1)
+    if vectors.ndim == 1:
+        vectors = vectors.reshape(1, -1)
+    if queries.shape[-1] != vectors.shape[-1]:
+        raise IndexParameterError(
+            f"dimension mismatch: queries {queries.shape[-1]} vs vectors {vectors.shape[-1]}"
+        )
+    if metric == "l2":
+        diff = vectors[np.newaxis, :, :] - queries[:, np.newaxis, :]
+        return np.sqrt(np.maximum(np.einsum("qnd,qnd->qn", diff, diff), 0.0))
+    if metric == "ip":
+        return -(queries @ vectors.T)
+    if metric == "cosine":
+        query_norms = np.linalg.norm(queries, axis=1)
+        query_norms = np.where(query_norms == 0, 1.0, query_norms)
+        denom = np.linalg.norm(vectors, axis=1)[np.newaxis, :] * query_norms[:, np.newaxis]
+        denom = np.where(denom == 0, 1.0, denom)
+        return 1.0 - (queries @ vectors.T) / denom
     raise IndexParameterError(f"unknown metric {metric!r}; expected one of {SUPPORTED_METRICS}")
 
 
@@ -105,6 +142,10 @@ class VectorIndex(abc.ABC):
     index_type: str = "ABSTRACT"
     requires_training: bool = False
     supports_native_iterator: bool = False
+    # True when search_batch is genuinely vectorized across queries
+    # (FLAT, IVF); graph-traversal indexes keep the per-query loop and
+    # are charged at the single-query rate by the batch executor.
+    supports_batch: bool = False
 
     def __init__(self, dim: int, metric: str = "l2") -> None:
         if dim <= 0:
@@ -201,6 +242,29 @@ class VectorIndex(abc.ABC):
                 keep = np.flatnonzero(within)
                 return SearchResult(result.ids[keep], result.distances[keep], visited=visited)
             k = min(k * 2, self.ntotal)
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        bitset: Optional[np.ndarray] = None,
+        **search_params: Any,
+    ) -> List[SearchResult]:
+        """Top-``k`` for each row of ``queries`` (the nq > 1 serving path).
+
+        The default loops :meth:`search_with_filter` per query, so every
+        index type accepts batched submissions; FLAT and IVF override it
+        with genuinely vectorized kernels (one ``(nq, n)`` distance
+        computation) and advertise ``supports_batch = True`` so the
+        executor charges the amortized GEMM rate.
+        """
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim == 1:
+            queries = queries.reshape(1, -1)
+        return [
+            self.search_with_filter(queries[row], k, bitset=bitset, **search_params)
+            for row in range(queries.shape[0])
+        ]
 
     def search_iterator(
         self,

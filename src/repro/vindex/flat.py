@@ -7,12 +7,18 @@ executor's distance kernel (paper §IV-A, Equation 1).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from repro.errors import IndexParameterError
-from repro.vindex.api import SearchResult, VectorIndex, pairwise_distance, top_k_from_distances
+from repro.vindex.api import (
+    SearchResult,
+    VectorIndex,
+    pairwise_distance,
+    pairwise_distance_batch,
+    top_k_from_distances,
+)
 
 
 class FlatIndex(VectorIndex):
@@ -20,6 +26,7 @@ class FlatIndex(VectorIndex):
 
     index_type = "FLAT"
     requires_training = False
+    supports_batch = True
 
     def __init__(self, dim: int, metric: str = "l2") -> None:
         super().__init__(dim, metric)
@@ -62,6 +69,42 @@ class FlatIndex(VectorIndex):
             ids = self._ids
         distances = pairwise_distance(query, vectors, self.metric)
         return top_k_from_distances(ids, distances, k, visited=int(vectors.shape[0]))
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        bitset: Optional[np.ndarray] = None,
+        **search_params: Any,
+    ) -> List[SearchResult]:
+        """Vectorized multi-query search: one ``(nq, n)`` distance matrix
+        instead of nq sequential scans."""
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim == 1:
+            queries = queries.reshape(1, -1)
+        if queries.shape[1] != self.dim:
+            raise IndexParameterError(
+                f"query dimension {queries.shape[1]} != index dimension {self.dim}"
+            )
+        bitset = self._check_bitset(bitset, self.ntotal)
+        nq = int(queries.shape[0])
+        if self.ntotal == 0 or k <= 0:
+            return [SearchResult.empty() for _ in range(nq)]
+        if bitset is not None:
+            keep = bitset[self._ids]
+            if not keep.any():
+                return [SearchResult.empty() for _ in range(nq)]
+            vectors = self._vectors[keep]
+            ids = self._ids[keep]
+        else:
+            vectors = self._vectors
+            ids = self._ids
+        distances = pairwise_distance_batch(queries, vectors, self.metric)
+        visited = int(vectors.shape[0])
+        return [
+            top_k_from_distances(ids, distances[row], k, visited=visited)
+            for row in range(nq)
+        ]
 
     def search_with_range(
         self,

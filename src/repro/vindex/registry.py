@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pickle
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Type
+from typing import Any, Dict, List, Optional, Type
 
 from repro.errors import IndexParameterError, UnknownIndexTypeError
 from repro.vindex.api import VectorIndex

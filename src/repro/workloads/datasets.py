@@ -20,7 +20,7 @@ production       30M × (multi-column)    ``make_production_like`` 8k × 48
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict
 
 import numpy as np
 

@@ -10,6 +10,7 @@ from repro.simulate.clock import SimulatedClock
 from repro.simulate.costmodel import DeviceCostModel
 from repro.simulate.metrics import MetricRegistry
 from repro.storage.objectstore import ObjectStore
+from tests.helpers import vector_sql  # noqa: F401 - re-exported for tests
 
 
 @pytest.fixture
@@ -47,8 +48,6 @@ def small_vectors(n: int = 300, dim: int = 16, seed: int = 0) -> np.ndarray:
 def vectors() -> np.ndarray:
     return small_vectors()
 
-
-from tests.helpers import vector_sql  # noqa: F401 - re-exported for tests
 
 
 @pytest.fixture

@@ -2,7 +2,6 @@
 
 import io
 
-import numpy as np
 import pytest
 
 from repro.__main__ import (

@@ -4,9 +4,6 @@ import pytest
 
 from repro.cluster.faults import FaultSchedule
 from repro.cluster.warehouse import VirtualWarehouse
-from repro.simulate.clock import SimulatedClock
-from repro.simulate.costmodel import DeviceCostModel
-from repro.simulate.metrics import MetricRegistry
 from repro.storage.objectstore import ObjectStore
 
 

@@ -174,3 +174,73 @@ class TestCompactionInvalidation:
         for worker in cluster.read_vw.workers.values():
             for key in retired_keys:
                 assert not worker.has_index_in_memory(key)
+
+
+class TestAdmissionControl:
+    def make_cluster(self, **config_kwargs):
+        from repro.cluster.warehouse import WarehouseConfig
+
+        engine = ClusteredBlendHouse(
+            read_workers=2, warehouse_config=WarehouseConfig(**config_kwargs)
+        )
+        engine.execute(
+            "CREATE TABLE docs (id UInt64, embedding Array(Float32), "
+            "INDEX ann embedding TYPE FLAT('DIM=8'))"
+        )
+        engine.db.table("docs").writer.config.max_segment_rows = 50
+        rng = np.random.default_rng(0)
+        rows = [
+            {"id": i, "embedding": rng.normal(size=8).astype(np.float32)}
+            for i in range(400)
+        ]
+        engine.insert_rows("docs", rows)
+        engine._rows = rows
+        return engine
+
+    def run_one(self, engine):
+        query = engine._rows[3]["embedding"]
+        sql = (
+            f"SELECT id, dist FROM docs ORDER BY "
+            f"L2Distance(embedding, {vector_sql(query)}) AS dist LIMIT 5"
+        )
+        return engine.execute(sql)
+
+    def test_multi_core_workers_cut_makespan(self):
+        latencies = {}
+        ids = {}
+        for cores in (1, 4):
+            engine = self.make_cluster(worker_cores=cores)
+            self.run_one(engine)  # warm caches
+            out = self.run_one(engine)
+            latencies[cores] = out.simulated_seconds
+            ids[cores] = [row[0] for row in out.rows]
+        assert ids[4] == ids[1]
+        assert latencies[4] < latencies[1]
+
+    def test_inflight_cap_throttles_back_to_serial(self):
+        # 2 workers sharing a cap of 2 scans -> 1 lane each, regardless
+        # of how many cores a worker has.
+        capped = self.make_cluster(worker_cores=4, max_inflight_scans=2)
+        uncapped = self.make_cluster(worker_cores=4)
+        serial = self.make_cluster(worker_cores=1)
+        for engine in (capped, uncapped, serial):
+            self.run_one(engine)  # warm caches
+        capped_s = self.run_one(capped).simulated_seconds
+        uncapped_s = self.run_one(uncapped).simulated_seconds
+        serial_s = self.run_one(serial).simulated_seconds
+        assert capped_s == pytest.approx(serial_s)
+        assert uncapped_s < capped_s
+
+    def test_queue_depth_metric_recorded(self):
+        engine = self.make_cluster(worker_cores=1)
+        self.run_one(engine)
+        recorder = engine.metrics.latency("warehouse.queue_depth")
+        assert recorder.count > 0
+        # 8 segments over 2 single-core workers: scans beyond the lane
+        # queue, and the counter tracks how many waited.
+        assert engine.metrics.count("warehouse.scans_queued") > 0
+
+    def test_zero_cap_means_unbounded(self):
+        engine = self.make_cluster(worker_cores=4, max_inflight_scans=0)
+        self.run_one(engine)
+        assert self.run_one(engine).rows

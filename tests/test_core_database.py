@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.database import BlendHouse
 from repro.errors import (
-    BlendHouseError,
     SQLError,
     TableAlreadyExistsError,
     TableNotFoundError,

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.core.database import BlendHouse
-from repro.planner.optimizer import ExecutionStrategy
 
 from tests.helpers import vector_sql
 

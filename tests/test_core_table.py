@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.database import BlendHouse
-from repro.errors import ObjectNotFoundError
 
 
 @pytest.fixture

@@ -1,0 +1,401 @@
+"""Tests for the parallel segment fan-out and batched execution engine.
+
+The contract under test: for any thread-pool size, any index type, and
+any segment layout, parallel execution returns byte-identical results to
+serial execution — including distance ties — and simulated time only
+improves.  Batched (nq > 1) submissions must match issuing the same
+queries sequentially.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.database import BlendHouse
+from repro.executor.parallel import ParallelConfig, fan_out, lane_makespan
+from repro.simulate.clock import SimulatedClock
+
+
+def full_vector_sql(vector) -> str:
+    """Full-precision literal so SQL round-trips the exact float32s."""
+    return "[" + ",".join(repr(float(x)) for x in vector) + "]"
+
+
+DIM = 8
+INDEX_TYPES = ["FLAT", "IVFFLAT", "HNSW", "DISKANN"]
+
+
+def build_db(
+    index_type: str,
+    segments: int = 6,
+    rows_per_segment: int = 40,
+    workers: int = 1,
+    seed: int = 0,
+) -> BlendHouse:
+    db = BlendHouse()
+    db.execute(
+        f"CREATE TABLE t (id UInt64, tag Int64, embedding Array(Float32), "
+        f"INDEX ann embedding TYPE {index_type}('DIM={DIM}'))"
+    )
+    db.table("t").writer.config.max_segment_rows = rows_per_segment
+    rng = np.random.default_rng(seed)
+    n = segments * rows_per_segment
+    vectors = rng.standard_normal((n, DIM)).astype(np.float32)
+    db.insert_columns(
+        "t",
+        {"id": np.arange(n, dtype=np.int64), "tag": np.arange(n, dtype=np.int64) % 5},
+        vectors,
+    )
+    if workers > 1:
+        db.execute(f"SET parallel_workers = {workers}")
+    return db
+
+
+def run_queries(db: BlendHouse, queries, sql_of) -> list:
+    return [
+        [tuple(row) for row in db.execute(sql_of(query)).rows] for query in queries
+    ]
+
+
+class TestLaneMakespan:
+    def test_one_lane_is_serial_sum(self):
+        costs = [3.0, 1.0, 2.0]
+        assert lane_makespan(costs, 1) == pytest.approx(6.0)
+
+    def test_enough_lanes_is_max(self):
+        costs = [3.0, 1.0, 2.0]
+        assert lane_makespan(costs, 3) == pytest.approx(3.0)
+        assert lane_makespan(costs, 10) == pytest.approx(3.0)
+
+    def test_lpt_packing(self):
+        # LPT on 2 lanes: [4] vs [3, 2] -> makespan 5 (not 4+3=7).
+        assert lane_makespan([4.0, 3.0, 2.0], 2) == pytest.approx(5.0)
+
+    def test_empty_and_clamping(self):
+        assert lane_makespan([], 4) == 0.0
+        assert lane_makespan([1.0], 0) == pytest.approx(1.0)
+
+    def test_never_worse_than_parallel_lower_bound(self):
+        rng = np.random.default_rng(3)
+        costs = rng.random(17).tolist()
+        for lanes in (1, 2, 3, 8, 32):
+            span = lane_makespan(costs, lanes)
+            assert span >= max(costs) - 1e-12
+            assert span <= sum(costs) + 1e-12
+
+
+class TestFanOut:
+    def test_results_in_task_order_any_pool_size(self):
+        clock = SimulatedClock()
+
+        def make(i):
+            def task():
+                clock.advance(0.001 * (i + 1))
+                return i * 10
+            return task
+
+        tasks = [make(i) for i in range(9)]
+        for pool in (1, 2, 8):
+            results, costs = fan_out(clock, tasks, pool)
+            assert results == [i * 10 for i in range(9)]
+            assert costs == pytest.approx([0.001 * (i + 1) for i in range(9)])
+            # Charges were captured, not applied.
+            assert clock.now == 0.0
+
+    def test_concurrent_charges_do_not_race(self):
+        clock = SimulatedClock()
+
+        def task():
+            for _ in range(200):
+                clock.advance(1e-6)
+            return True
+
+        results, costs = fan_out(clock, [task] * 16, 8)
+        assert all(results)
+        assert costs == pytest.approx([2e-4] * 16)
+        assert clock.now == 0.0
+
+
+class TestParallelDeterminism:
+    @pytest.mark.parametrize("index_type", INDEX_TYPES)
+    def test_identical_results_across_pool_sizes(self, index_type):
+        queries = np.random.default_rng(7).standard_normal((4, DIM)).astype(np.float32)
+
+        def sql_of(query):
+            return (
+                f"SELECT id, dist FROM t ORDER BY "
+                f"L2Distance(embedding, {full_vector_sql(query)}) AS dist LIMIT 10"
+            )
+
+        serial = run_queries(build_db(index_type), queries, sql_of)
+        for workers in (2, 8):
+            parallel = run_queries(
+                build_db(index_type, workers=workers), queries, sql_of
+            )
+            assert parallel == serial, f"{index_type} diverged at {workers} workers"
+
+    def test_distance_ties_break_identically(self):
+        # Duplicate vectors across segments force exact distance ties;
+        # the merge's (distance, segment_id, offset) ordering must hold
+        # for any pool size.
+        def build(workers):
+            db = BlendHouse()
+            db.execute(
+                f"CREATE TABLE t (id UInt64, embedding Array(Float32), "
+                f"INDEX ann embedding TYPE FLAT('DIM={DIM}'))"
+            )
+            db.table("t").writer.config.max_segment_rows = 10
+            base = np.random.default_rng(1).standard_normal((10, DIM))
+            vectors = np.tile(base, (6, 1)).astype(np.float32)  # 6 identical segments
+            db.insert_columns(
+                "t", {"id": np.arange(60, dtype=np.int64)}, vectors
+            )
+            if workers > 1:
+                db.execute(f"SET parallel_workers = {workers}")
+            return db
+
+        query = np.zeros(DIM, dtype=np.float32)
+        sql = (
+            f"SELECT id, dist FROM t ORDER BY "
+            f"L2Distance(embedding, {full_vector_sql(query)}) AS dist LIMIT 30"
+        )
+        expected = [tuple(row) for row in build(1).execute(sql).rows]
+        for workers in (2, 8):
+            got = [tuple(row) for row in build(workers).execute(sql).rows]
+            assert got == expected
+
+    def test_hybrid_predicate_queries_match(self):
+        queries = np.random.default_rng(11).standard_normal((3, DIM)).astype(np.float32)
+
+        def sql_of(query):
+            return (
+                f"SELECT id, tag, dist FROM t WHERE tag < 3 ORDER BY "
+                f"L2Distance(embedding, {full_vector_sql(query)}) AS dist LIMIT 10"
+            )
+
+        serial = run_queries(build_db("HNSW"), queries, sql_of)
+        parallel = run_queries(build_db("HNSW", workers=8), queries, sql_of)
+        assert parallel == serial
+
+    def test_parallel_simulated_latency_never_worse(self):
+        query = np.random.default_rng(2).standard_normal(DIM).astype(np.float32)
+        sql = (
+            f"SELECT id FROM t ORDER BY "
+            f"L2Distance(embedding, {full_vector_sql(query)}) AS dist LIMIT 5"
+        )
+        latencies = {}
+        for workers in (1, 8):
+            db = build_db("FLAT", segments=8, workers=workers)
+            db.execute(sql)  # warm caches
+            latencies[workers] = db.execute(sql).simulated_seconds
+        assert latencies[8] <= latencies[1]
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        layout=st.lists(st.integers(min_value=5, max_value=40), min_size=1, max_size=6),
+        workers=st.sampled_from([2, 3, 8]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_hypothesis_segment_layouts(self, layout, workers, seed):
+        """Any segment layout: parallel rows identical to serial rows."""
+        rng = np.random.default_rng(seed)
+        vectors = rng.standard_normal((sum(layout), DIM)).astype(np.float32)
+        query = rng.standard_normal(DIM).astype(np.float32)
+        sql = (
+            f"SELECT id, dist FROM t ORDER BY "
+            f"L2Distance(embedding, {full_vector_sql(query)}) AS dist LIMIT 7"
+        )
+
+        def build(parallel_workers):
+            db = BlendHouse()
+            db.execute(
+                f"CREATE TABLE t (id UInt64, embedding Array(Float32), "
+                f"INDEX ann embedding TYPE FLAT('DIM={DIM}'))"
+            )
+            offset = 0
+            for rows in layout:
+                db.table("t").writer.config.max_segment_rows = rows
+                db.insert_columns(
+                    "t",
+                    {"id": np.arange(offset, offset + rows, dtype=np.int64)},
+                    vectors[offset:offset + rows],
+                )
+                offset += rows
+            if parallel_workers > 1:
+                db.execute(f"SET parallel_workers = {parallel_workers}")
+            return db
+
+        serial = [tuple(row) for row in build(1).execute(sql).rows]
+        parallel = [tuple(row) for row in build(workers).execute(sql).rows]
+        assert parallel == serial
+
+
+class TestParallelWithDeletes:
+    def test_deletes_respected_under_concurrency(self):
+        """Stress: delete bitmaps mixed with concurrent scans."""
+        def build(workers):
+            db = build_db("FLAT", segments=8, rows_per_segment=30, workers=workers)
+            db.execute("DELETE FROM t WHERE tag = 2")
+            db.execute("DELETE FROM t WHERE id < 25")
+            return db
+
+        queries = np.random.default_rng(5).standard_normal((5, DIM)).astype(np.float32)
+
+        def sql_of(query):
+            return (
+                f"SELECT id, tag, dist FROM t ORDER BY "
+                f"L2Distance(embedding, {full_vector_sql(query)}) AS dist LIMIT 20"
+            )
+
+        serial = run_queries(build(1), queries, sql_of)
+        for rows in serial:
+            for row in rows:
+                assert row[1] != 2 and row[0] >= 25
+        for workers in (2, 8):
+            assert run_queries(build(workers), queries, sql_of) == serial
+
+    def test_interleaved_deletes_and_parallel_queries(self):
+        db = build_db("FLAT", segments=6, rows_per_segment=30, workers=8)
+        query = np.random.default_rng(9).standard_normal(DIM).astype(np.float32)
+        sql = (
+            f"SELECT id FROM t ORDER BY "
+            f"L2Distance(embedding, {full_vector_sql(query)}) AS dist LIMIT 200"
+        )
+        alive = set(range(180))
+        for step in range(4):
+            victim_low, victim_high = step * 20, step * 20 + 10
+            db.execute(f"DELETE FROM t WHERE id >= {victim_low} AND id < {victim_high}")
+            alive -= set(range(victim_low, victim_high))
+            ids = {row[0] for row in db.execute(sql).rows}
+            assert ids == alive
+
+
+class TestBatchedExecution:
+    @pytest.mark.parametrize("index_type", ["FLAT", "IVFFLAT", "HNSW"])
+    def test_search_batch_matches_sequential(self, index_type):
+        db = build_db(index_type, segments=5)
+        queries = np.random.default_rng(21).standard_normal((6, DIM)).astype(np.float32)
+        sequential = run_queries(
+            db, queries,
+            lambda q: (
+                f"SELECT id, dist FROM t ORDER BY "
+                f"L2Distance(embedding, {full_vector_sql(q)}) AS dist LIMIT 9"
+            ),
+        )
+        batch = db.search_batch("t", queries, k=9)
+        assert len(batch) == len(queries)
+        got = [[tuple(row) for row in result.rows] for result in batch.results]
+        assert got == sequential
+
+    def test_search_batch_single_query_and_vector_shape(self):
+        db = build_db("FLAT", segments=3)
+        query = np.random.default_rng(4).standard_normal(DIM).astype(np.float32)
+        batch = db.search_batch("t", query, k=5)  # 1-D input
+        assert len(batch) == 1
+        assert len(batch[0].rows) == 5
+
+    def test_execute_batch_same_shape_sql(self):
+        db = build_db("FLAT", segments=4, workers=2)
+        queries = np.random.default_rng(31).standard_normal((4, DIM)).astype(np.float32)
+        sqls = [
+            f"SELECT id, dist FROM t ORDER BY "
+            f"L2Distance(embedding, {full_vector_sql(q)}) AS dist LIMIT 6"
+            for q in queries
+        ]
+        sequential = [
+            [tuple(row) for row in db.execute(sql).rows] for sql in sqls
+        ]
+        batched = db.execute_batch(sqls)
+        assert [[tuple(r) for r in out.rows] for out in batched] == sequential
+        assert db.metrics.count("batch.submissions") == 1
+
+    def test_execute_batch_mixed_statements_fall_back(self):
+        db = build_db("FLAT", segments=3)
+        query = np.random.default_rng(41).standard_normal(DIM).astype(np.float32)
+        sqls = [
+            f"SELECT id, dist FROM t ORDER BY "
+            f"L2Distance(embedding, {full_vector_sql(query)}) AS dist LIMIT 4",
+            "SELECT id FROM t WHERE tag = 1",
+        ]
+        outs = db.execute_batch(sqls)
+        assert len(outs) == 2
+        assert len(outs[0].rows) == 4
+        assert all(row[0] % 5 == 1 for row in outs[1].rows)
+        assert db.metrics.count("batch.fallbacks") == 1
+        assert db.metrics.count("batch.submissions") == 0
+
+    def test_batch_respects_deletes(self):
+        db = build_db("FLAT", segments=4)
+        db.execute("DELETE FROM t WHERE tag = 0")
+        queries = np.random.default_rng(51).standard_normal((3, DIM)).astype(np.float32)
+        batch = db.search_batch("t", queries, k=50, output_columns=("id", "tag"))
+        for result in batch.results:
+            assert result.rows
+            for row in result.rows:
+                assert row[1] != 0
+
+    def test_batch_cheaper_than_sequential(self):
+        db = build_db("FLAT", segments=6, rows_per_segment=100)
+        queries = np.random.default_rng(61).standard_normal((16, DIM)).astype(np.float32)
+        sqls = [
+            f"SELECT id FROM t ORDER BY "
+            f"L2Distance(embedding, {full_vector_sql(q)}) AS dist LIMIT 10"
+            for q in queries
+        ]
+        db.execute(sqls[0])  # warm caches
+        start = db.clock.now
+        for sql in sqls:
+            db.execute(sql)
+        sequential_elapsed = db.clock.now - start
+        start = db.clock.now
+        db.search_batch("t", queries, k=10)
+        batch_elapsed = db.clock.now - start
+        assert batch_elapsed < sequential_elapsed
+
+    def test_empty_batch(self):
+        db = build_db("FLAT", segments=2)
+        assert db.execute_batch([]) == []
+
+
+class TestClockThreadSafety:
+    def test_capture_stacks_are_thread_local(self):
+        import threading
+
+        clock = SimulatedClock()
+        seen = {}
+
+        def worker(name, amount):
+            with clock.capturing() as captured:
+                clock.advance(amount)
+            seen[name] = captured.total
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}", 0.01 * (i + 1)))
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert seen == pytest.approx(
+            {f"t{i}": 0.01 * (i + 1) for i in range(4)}
+        )
+        assert clock.now == 0.0
+
+
+class TestParallelConfig:
+    def test_effective_workers(self):
+        config = ParallelConfig(max_workers=8)
+        assert config.effective_workers(3) == 3
+        assert config.effective_workers(20) == 8
+        assert config.effective_workers(0) == 1
+
+    def test_parallel_workers_setting_validation(self):
+        db = build_db("FLAT", segments=2)
+        db.execute("SET parallel_workers = 4")
+        assert db.settings.parallel_workers == 4
+        db.execute("SET parallel_workers = 1")
+        assert db.settings.parallel_workers == 1

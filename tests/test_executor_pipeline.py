@@ -221,7 +221,6 @@ class TestProjectionAndMerge:
 class TestBruteForcePath:
     def test_missing_index_falls_back(self, world, schema, metrics):
         segments, bitmaps, _ = world
-        clock = segments and None  # unused
         from repro.simulate.clock import SimulatedClock
 
         fresh_clock = SimulatedClock()

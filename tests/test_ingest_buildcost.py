@@ -1,6 +1,5 @@
 """Tests for the simulated index-build cost model."""
 
-import pytest
 
 from repro.ingest.buildcost import estimate_index_build_cost
 from repro.simulate.costmodel import DeviceCostModel

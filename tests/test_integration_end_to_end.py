@@ -1,11 +1,9 @@
 """End-to-end scenarios exercising the whole stack together."""
 
 import numpy as np
-import pytest
 
 from repro.core.database import BlendHouse
 from repro.cluster.engine import ClusteredBlendHouse
-from repro.planner.optimizer import ExecutionStrategy
 from repro.workloads import (
     ground_truth,
     make_laion_like,

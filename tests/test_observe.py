@@ -8,7 +8,6 @@ import pytest
 from repro.core.database import BlendHouse, ExplainResult
 from repro.observe.export import MetricsExporter
 from repro.observe.trace import Span, Tracer, maybe_span
-from repro.simulate.clock import SimulatedClock
 from repro.simulate.metrics import MetricRegistry
 
 

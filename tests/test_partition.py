@@ -1,7 +1,6 @@
 """Tests for scalar/semantic partitioning and segment pruning."""
 
 import numpy as np
-import pytest
 
 from repro.partition.pruning import (
     extract_column_intervals,

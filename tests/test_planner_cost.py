@@ -58,7 +58,6 @@ class TestCrossoverShapes:
 
     def test_brute_force_wins_at_tiny_pass_rate(self, params):
         i = inputs(s=0.001)
-        costs = plan_costs(i, params)
         # Variable part of A shrinks with s; compare A's distance work
         # against C's amplified scan.
         assert i.s * i.n * params.c_d < cost_plan_c(i, params)

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import BindError
-from repro.sqlparser.expressions import evaluate_expression, evaluate_predicate
+from repro.sqlparser.expressions import evaluate_predicate
 from repro.sqlparser.parser import parse_statement
 
 

@@ -6,7 +6,6 @@ from repro.errors import ParseError
 from repro.sqlparser.ast_nodes import (
     Between,
     BinaryOp,
-    ColumnRef,
     CreateTable,
     Delete,
     DropTable,

@@ -1,7 +1,6 @@
 """Tests for measured auto-tuning during compaction."""
 
 import numpy as np
-import pytest
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import TableSchema

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import ObjectNotFoundError
-from repro.storage.objectstore import ObjectStore
 
 
 class TestPutGet:

@@ -77,7 +77,6 @@ class TestCreate:
 
 class TestSerialization:
     def test_roundtrip_every_type(self, vectors):
-        rng = np.random.default_rng(0)
         for name in registered_types():
             if name == "_ECHO":
                 continue
