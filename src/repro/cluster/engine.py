@@ -149,29 +149,37 @@ class ClusteredBlendHouse:
     def _execute_select_traced(self, sql: str, statement: Select) -> QueryResult:
         db = self.db
         runtime = db.table(statement.table)
-        plan = db._plan_select(sql, statement)
-        scheduled, reserve = db._select_segments(runtime, plan)
-        bitmaps = {
-            segment.segment_id: runtime.manager.bitmap(segment.segment_id)
-            for segment in scheduled + reserve
-        }
-        schema = runtime.entry.schema
-        params = CostModelParams.from_device_model(db.cost, max(schema.vector_dim, 1))
-        start = db.clock.now
-        result = self.read_vw.execute_query(
-            plan, scheduled, bitmaps, runtime.manager.index_key, db.reader, params
-        )
-        wanted = plan.logical.k or 0
-        if (
-            reserve
-            and db.settings.adaptive_widening
-            and plan.logical.is_vector_query
-            and len(result) < max(wanted - plan.logical.offset, 0)
-        ):
-            db.metrics.incr("pruning.adaptive_widenings")
-            result = self.read_vw.execute_query(
-                plan, scheduled + reserve, bitmaps,
-                runtime.manager.index_key, db.reader, params,
+        # Pin one manifest for the distributed query: pruning, bitmaps,
+        # index-key resolution on every worker, and the widening retry
+        # all read the same version, even while the write side commits.
+        with runtime.manager.snapshot(statement.as_of) as snap:
+            plan = db._plan_select(sql, statement, version=snap.manifest_id)
+            scheduled, reserve = db._select_segments(runtime, plan, view=snap)
+            bitmaps = {
+                segment.segment_id: snap.bitmap(segment.segment_id)
+                for segment in scheduled + reserve
+            }
+            schema = runtime.entry.schema
+            params = CostModelParams.from_device_model(
+                db.cost, max(schema.vector_dim, 1)
             )
-        result.simulated_seconds = db.clock.elapsed_since(start)
+            start = db.clock.now
+            result = self.read_vw.execute_query(
+                plan, scheduled, bitmaps, snap.index_key, db.reader, params,
+                manifest_id=snap.manifest_id,
+            )
+            wanted = plan.logical.k or 0
+            if (
+                reserve
+                and db.settings.adaptive_widening
+                and plan.logical.is_vector_query
+                and len(result) < max(wanted - plan.logical.offset, 0)
+            ):
+                db.metrics.incr("pruning.adaptive_widenings")
+                result = self.read_vw.execute_query(
+                    plan, scheduled + reserve, bitmaps,
+                    snap.index_key, db.reader, params,
+                    manifest_id=snap.manifest_id,
+                )
+            result.simulated_seconds = db.clock.elapsed_since(start)
         return result

@@ -136,6 +136,7 @@ class ReplicatedWarehouse:
         index_key_of,
         reader: ColumnReader,
         params: CostModelParams,
+        manifest_id: Optional[int] = None,
     ) -> QueryResult:
         """Run one query, failing over across replicas as needed.
 
@@ -148,7 +149,8 @@ class ReplicatedWarehouse:
         for replica in self._rotation():
             try:
                 result = replica.execute_query(
-                    plan, segments, bitmaps, index_key_of, reader, params
+                    plan, segments, bitmaps, index_key_of, reader, params,
+                    manifest_id=manifest_id,
                 )
                 self.metrics.incr(f"replicas.served_by.{replica.name}")
                 return result

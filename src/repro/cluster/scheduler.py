@@ -22,6 +22,11 @@ class SegmentScheduler:
         self.ring = ring or MultiProbeHashRing()
         self._current: Dict[str, str] = {}
         self._previous: Dict[str, str] = {}
+        # Manifest id each segment was last routed under (MVCC): the ring
+        # still hashes bare segment ids — placement must stay stable
+        # across commits — but serving decisions can consult which
+        # version a worker last saw.
+        self._manifest: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Topology
@@ -42,11 +47,18 @@ class SegmentScheduler:
     # ------------------------------------------------------------------
     # Assignment
     # ------------------------------------------------------------------
-    def assign(self, segment_ids: Sequence[str]) -> Dict[str, str]:
+    def assign(
+        self,
+        segment_ids: Sequence[str],
+        manifest_id: Optional[int] = None,
+    ) -> Dict[str, str]:
         """Segment → worker for the current topology.
 
         Updates owner history: a segment whose owner differs from last
-        time records the old owner as its previous owner.
+        time records the old owner as its previous owner.  When the query
+        carries a pinned ``manifest_id``, the routed version is recorded
+        per segment — queries effectively route by (segment_id,
+        manifest_id) while placement remains a pure segment-id hash.
         """
         assignment: Dict[str, str] = {}
         for segment_id in segment_ids:
@@ -55,8 +67,14 @@ class SegmentScheduler:
             if old is not None and old != worker:
                 self._previous[segment_id] = old
             self._current[segment_id] = worker
+            if manifest_id is not None:
+                self._manifest[segment_id] = manifest_id
             assignment[segment_id] = worker
         return assignment
+
+    def routed_manifest(self, segment_id: str) -> Optional[int]:
+        """Manifest id ``segment_id`` was last routed under, if known."""
+        return self._manifest.get(segment_id)
 
     def group_by_worker(self, assignment: Dict[str, str]) -> Dict[str, List[str]]:
         """Invert an assignment into worker → [segments]."""

@@ -188,8 +188,13 @@ class VirtualWarehouse:
         index_key_of: IndexKeyLookup,
         reader: ColumnReader,
         params: CostModelParams,
+        manifest_id: Optional[int] = None,
     ) -> QueryResult:
         """Run one planned query across the warehouse.
+
+        ``manifest_id`` is the manifest the caller's snapshot pinned; it
+        rides along so scheduling and worker spans attribute work to the
+        exact version scanned.
 
         Raises
         ------
@@ -202,7 +207,8 @@ class VirtualWarehouse:
         while True:
             try:
                 return self._execute_once(
-                    plan, segments, bitmaps, index_key_of, reader, params
+                    plan, segments, bitmaps, index_key_of, reader, params,
+                    manifest_id,
                 )
             except WorkerUnavailableError:
                 # Query-level retry on the refreshed topology (§II-E).
@@ -222,10 +228,11 @@ class VirtualWarehouse:
         index_key_of: IndexKeyLookup,
         reader: ColumnReader,
         params: CostModelParams,
+        manifest_id: Optional[int] = None,
     ) -> QueryResult:
         start = self.clock.now
         by_id = {segment.segment_id: segment for segment in segments}
-        assignment = self.scheduler.assign(list(by_id))
+        assignment = self.scheduler.assign(list(by_id), manifest_id=manifest_id)
         grouped = self.scheduler.group_by_worker(assignment)
 
         # Admission control: the warehouse caps concurrent segment scans.
@@ -247,6 +254,8 @@ class VirtualWarehouse:
                 self.tracer, "worker_scan",
                 worker=worker_id, segments=len(segment_ids),
             ) as scan_span:
+                if scan_span is not None and manifest_id is not None:
+                    scan_span.set_tag("manifest_id", manifest_id)
                 ctx = ExecContext(
                     clock=self.clock,
                     cost=self.cost,
@@ -255,6 +264,7 @@ class VirtualWarehouse:
                     resolve_index=self._resolver_for(worker, index_key_of),
                     metrics=self.metrics,
                     tracer=self.tracer,
+                    manifest_id=manifest_id,
                 )
                 segment_costs: List[float] = []
                 for segment_id in segment_ids:

@@ -410,20 +410,39 @@ class BlendHouse:
             overrides["nprobe"] = self.settings.nprobe
         return overrides
 
-    def _plan_select(self, sql: str, statement: Select) -> PhysicalPlan:
+    def _plan_select(
+        self, sql: str, statement: Select, version: Optional[int] = None
+    ) -> PhysicalPlan:
+        """Plan one SELECT against manifest ``version``.
+
+        ``version`` is the manifest id the query is pinned to; when the
+        caller has not pinned a snapshot yet it defaults to the
+        statement's ``AS OF`` target or the table's current manifest.
+        The plan cache is keyed by (version, signature), so commits
+        implicitly fence stale plans and an ``AS OF`` re-run reuses the
+        exact plan its manifest produced.
+        """
+        if version is None:
+            runtime = self.table(statement.table)
+            version = (
+                statement.as_of
+                if statement.as_of is not None
+                else runtime.manager.manifest_id
+            )
         with self.tracer.span("plan") as span:
-            plan = self._plan_select_traced(sql, statement, span)
+            span.set_tag("manifest_id", version)
+            plan = self._plan_select_traced(sql, statement, span, version)
             span.set_tag("strategy", plan.strategy.value)
             return plan
 
     def _plan_select_traced(
-        self, sql: str, statement: Select, span: Span
+        self, sql: str, statement: Select, span: Span, version: int
     ) -> PhysicalPlan:
         runtime = self.table(statement.table)
         schema = runtime.entry.schema
         cached = None
         if self.settings.enable_plan_cache:
-            cached = self.plan_cache.lookup(sql)
+            cached = self.plan_cache.lookup(sql, version)
             span.set_tag("plan_cache", "hit" if cached is not None else "miss")
         else:
             span.set_tag("plan_cache", "disabled")
@@ -464,11 +483,13 @@ class BlendHouse:
         else:
             self.clock.advance(self.cost.plan_overhead_s)
         if self.settings.enable_plan_cache:
-            self.plan_cache.store(sql, plan)
+            self.plan_cache.store(sql, plan, version)
         self.metrics.incr("planner.optimizations")
         return plan
 
-    def _exec_context(self, runtime: TableRuntime) -> ExecContext:
+    def _exec_context(
+        self, runtime: TableRuntime, snapshot: Optional[Any] = None
+    ) -> ExecContext:
         schema = runtime.entry.schema
         params = CostModelParams.from_device_model(self.cost, max(schema.vector_dim, 1))
         reader = self.reader
@@ -477,22 +498,34 @@ class BlendHouse:
                 self.clock, self.cost, self.metrics,
                 ReadOptConfig(reduced_granularity=False, use_block_cache=False),
             )
+        if snapshot is None:
+            resolve = runtime.resolve_index
+            manifest_id = None
+        else:
+            resolve = runtime.snapshot_resolver(snapshot)
+            manifest_id = snapshot.manifest_id
         return ExecContext(
             clock=self.clock,
             cost=self.cost,
             params=params,
             reader=reader,
-            resolve_index=runtime.resolve_index,
+            resolve_index=resolve,
             metrics=self.metrics,
             tracer=self.tracer,
+            manifest_id=manifest_id,
         )
 
     def _select_segments(
-        self, runtime: TableRuntime, plan: PhysicalPlan
+        self, runtime: TableRuntime, plan: PhysicalPlan,
+        view: Optional[Any] = None,
     ) -> List[List[Segment]]:
-        """Scheduling-phase pruning: returns [scheduled, reserve] waves."""
+        """Scheduling-phase pruning: returns [scheduled, reserve] waves.
+
+        ``view`` is the pinned snapshot the query reads; falling back to
+        the live manager view is only for internal single-version paths.
+        """
         with self.tracer.span("prune") as span:
-            manager = runtime.manager
+            manager = view if view is not None else runtime.manager
             total = len(manager)
             metas = manager.metas()
             metas = prune_segments_scalar(metas, plan.logical.scalar_predicate)
@@ -544,32 +577,38 @@ class BlendHouse:
         self, sql: str, statement: Select
     ) -> Tuple[QueryResult, PhysicalPlan]:
         runtime = self.table(statement.table)
-        plan = self._plan_select(sql, statement)
-        ctx = self._exec_context(runtime)
-        scheduled, reserve = self._select_segments(runtime, plan)
-        bitmaps = {
-            segment.segment_id: runtime.manager.bitmap(segment.segment_id)
-            for segment in scheduled + reserve
-        }
-        start = self.clock.now
-        with self.tracer.span("execute", segments=len(scheduled)) as span:
-            result = self._execute_segments(plan, scheduled, bitmaps, ctx)
-            wanted = plan.logical.k or 0
-            if (
-                reserve
-                and self.settings.adaptive_widening
-                and plan.logical.is_vector_query
-                and len(result) < max(wanted - plan.logical.offset, 0)
-            ):
-                # Runtime-adaptive widening: the centroid ranking under-
-                # estimated; schedule everything and redo the merge.
-                self.metrics.incr("pruning.adaptive_widenings")
-                span.set_tag("adaptive_widened", True)
-                result = self._execute_segments(
-                    plan, scheduled + reserve, bitmaps, ctx
-                )
-            span.set_tag("rows", len(result))
-        result.simulated_seconds = self.clock.elapsed_since(start)
+        # Pin one manifest for the query's whole lifetime: planning,
+        # pruning, bitmap capture, and execution all read this version,
+        # so concurrent ingest/compaction commits are invisible and
+        # ``AS OF <manifest_id>`` replays history exactly.
+        with runtime.manager.snapshot(statement.as_of) as snap:
+            plan = self._plan_select(sql, statement, version=snap.manifest_id)
+            ctx = self._exec_context(runtime, snapshot=snap)
+            scheduled, reserve = self._select_segments(runtime, plan, view=snap)
+            bitmaps = {
+                segment.segment_id: snap.bitmap(segment.segment_id)
+                for segment in scheduled + reserve
+            }
+            start = self.clock.now
+            with self.tracer.span("execute", segments=len(scheduled)) as span:
+                span.set_tag("manifest_id", snap.manifest_id)
+                result = self._execute_segments(plan, scheduled, bitmaps, ctx)
+                wanted = plan.logical.k or 0
+                if (
+                    reserve
+                    and self.settings.adaptive_widening
+                    and plan.logical.is_vector_query
+                    and len(result) < max(wanted - plan.logical.offset, 0)
+                ):
+                    # Runtime-adaptive widening: the centroid ranking under-
+                    # estimated; schedule everything and redo the merge.
+                    self.metrics.incr("pruning.adaptive_widenings")
+                    span.set_tag("adaptive_widened", True)
+                    result = self._execute_segments(
+                        plan, scheduled + reserve, bitmaps, ctx
+                    )
+                span.set_tag("rows", len(result))
+            result.simulated_seconds = self.clock.elapsed_since(start)
         self.metrics.incr("queries")
         self.metrics.record_latency("query.latency", result.simulated_seconds)
         return result, plan
@@ -619,8 +658,11 @@ class BlendHouse:
             statement = parse_statement(sql)
             if not isinstance(statement, Select):  # pragma: no cover - defensive
                 raise SQLError("batched search must compile to a SELECT")
-            template = self._plan_select(sql, statement)
-            return self._run_batch(runtime, template, query_matrix)
+            with runtime.manager.snapshot() as snap:
+                template = self._plan_select(
+                    sql, statement, version=snap.manifest_id
+                )
+                return self._run_batch(runtime, template, query_matrix, snap)
 
     def execute_batch(self, sqls: Sequence[str]) -> List[Any]:
         """Execute several SQL statements submitted as one batch.
@@ -645,7 +687,10 @@ class BlendHouse:
                     query_matrix = np.stack([
                         plan.logical.distance.query_vector for plan in plans
                     ])
-                    batch = self._run_batch(runtime, plans[0], query_matrix)
+                    with runtime.manager.snapshot() as snap:
+                        batch = self._run_batch(
+                            runtime, plans[0], query_matrix, snap
+                        )
                     return list(batch.results)
         # Mixed or non-batchable statements: sequential fallback.
         self.metrics.incr("batch.fallbacks")
@@ -679,8 +724,13 @@ class BlendHouse:
         runtime: TableRuntime,
         template: PhysicalPlan,
         query_matrix: np.ndarray,
+        snapshot: Any,
     ) -> BatchExecutionResult:
-        """Plan rebinding + scheduling + batched execution for one batch."""
+        """Plan rebinding + scheduling + batched execution for one batch.
+
+        The caller pins ``snapshot`` around the whole batch: every query
+        in it reads one manifest.
+        """
         if template.logical.scalar_predicate is not None:
             raise SQLError("batched search does not support scalar predicates")
         plans: List[PhysicalPlan] = []
@@ -692,25 +742,26 @@ class BlendHouse:
                 ),
             )
             plans.append(template.rebound(logical))
-        ctx = self._exec_context(runtime)
+        ctx = self._exec_context(runtime, snapshot=snapshot)
         segments_by_query: List[List[Segment]] = []
         reserve_by_query: List[List[Segment]] = []
         for plan in plans:
-            scheduled, reserve = self._select_segments(runtime, plan)
+            scheduled, reserve = self._select_segments(runtime, plan, view=snapshot)
             segments_by_query.append(scheduled)
             reserve_by_query.append(reserve)
         bitmaps = {
-            segment.segment_id: runtime.manager.bitmap(segment.segment_id)
+            segment.segment_id: snapshot.bitmap(segment.segment_id)
             for scheduled in segments_by_query
             for segment in scheduled
         }
         for reserve in reserve_by_query:
             for segment in reserve:
                 bitmaps.setdefault(
-                    segment.segment_id, runtime.manager.bitmap(segment.segment_id)
+                    segment.segment_id, snapshot.bitmap(segment.segment_id)
                 )
         start = self.clock.now
-        with self.tracer.span("execute_batch", queries=len(plans)):
+        with self.tracer.span("execute_batch", queries=len(plans),
+                              manifest_id=snapshot.manifest_id):
             batch = execute_batch_on_segments(
                 plans, segments_by_query, bitmaps, ctx, self._parallel_config()
             )
@@ -775,6 +826,9 @@ class BlendHouse:
             "rows_alive": runtime.manager.alive_rows(),
             "rows_deleted": runtime.manager.deleted_rows(),
             "cluster_buckets": schema.cluster_buckets,
+            "manifest_id": runtime.manager.manifest_id,
+            "retained_manifests": runtime.manager.store.retained_ids,
+            "pinned_snapshots": runtime.manager.store.pinned_count,
         }
 
     @staticmethod

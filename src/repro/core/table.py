@@ -46,7 +46,7 @@ class TableRuntime:
         self.cost = cost
         self.metrics = metrics
         self.tracer = tracer
-        self.manager = SegmentManager()
+        self.manager = SegmentManager(table=entry.schema.name, metrics=metrics)
         self.writer = SegmentWriter(
             entry, self.manager, store, clock,
             cost_model=cost, metrics=metrics, config=ingest_config,
@@ -68,12 +68,33 @@ class TableRuntime:
             self.writer.built_indexes.pop(index_key, None)
 
     def resolve_index(self, segment: Segment) -> Optional[VectorIndex]:
-        """The vector index for ``segment``, or None (→ brute force).
+        """The vector index for ``segment`` per the *current* manifest,
+        or None (→ brute force)."""
+        return self.resolve_index_at(
+            segment, self.manager.index_key(segment.segment_id)
+        )
+
+    def snapshot_resolver(self, snapshot):
+        """An index resolver bound to one pinned snapshot: index keys come
+        from the snapshot's manifest, so a query keeps resolving the exact
+        index versions it was planned against even while compaction
+        rewrites the current view."""
+
+        def resolve(segment: Segment) -> Optional[VectorIndex]:
+            return self.resolve_index_at(
+                segment, snapshot.index_key(segment.segment_id)
+            )
+
+        return resolve
+
+    def resolve_index_at(
+        self, segment: Segment, index_key: Optional[str]
+    ) -> Optional[VectorIndex]:
+        """The vector index stored under ``index_key``, or None.
 
         Looks in the writer's freshly built set first, then the memoized
         loads, finally the object store (charging the cold-read cost).
         """
-        index_key = self.manager.index_key(segment.segment_id)
         if index_key is None:
             self._annotate_tier("none")
             return None

@@ -60,6 +60,14 @@ class SegmentError(StorageError):
     """A segment is malformed or an operation violated immutability."""
 
 
+class ManifestError(StorageError):
+    """MVCC manifest failures: bad edits, commit protocol violations."""
+
+
+class SnapshotExpiredError(ManifestError):
+    """A manifest id was requested that is no longer retained or pinned."""
+
+
 class IndexError_(BlendHouseError):
     """Vector-index failures (named with a trailing underscore to avoid
     shadowing the builtin :class:`IndexError`)."""

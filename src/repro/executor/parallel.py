@@ -178,7 +178,8 @@ def execute_plan_on_segments_parallel(
                 reader=ctx.reader.for_task(task_metrics[position]),
                 resolve_index=resolve,
                 metrics=task_metrics[position],
-                tracer=None,  # the span stack is not thread-safe
+                tracer=None,  # task spans are emitted post-hoc, in order
+                manifest_id=ctx.manifest_id,
             )
             return _execute_segment(
                 plan, segment, bitmaps.get(segment.segment_id), task_ctx
@@ -394,6 +395,7 @@ def execute_batch_on_segments(
                 resolve_index=resolve,
                 metrics=task_metrics[task_index],
                 tracer=None,
+                manifest_id=ctx.manifest_id,
             )
             return _batch_scan_segment(
                 plans, positions_by_segment[segment.segment_id], segment,

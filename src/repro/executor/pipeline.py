@@ -60,6 +60,8 @@ class ExecContext:
     resolve_index: IndexResolver
     metrics: MetricRegistry = field(default_factory=MetricRegistry)
     tracer: Optional[Tracer] = None
+    # Manifest this execution is pinned to (MVCC); None outside snapshots.
+    manifest_id: Optional[int] = None
 
 
 @dataclass

@@ -64,15 +64,21 @@ def apply_delete(
     manager: SegmentManager,
     predicate: Optional[Expression],
 ) -> UpdateResult:
-    """DELETE FROM: mark matching rows dead across all segments."""
+    """DELETE FROM: mark matching rows dead across all segments.
+
+    All per-segment bitmap successors publish in one manifest swap, so a
+    concurrent reader never observes a DELETE applied to only some
+    segments.
+    """
     result = UpdateResult()
-    for segment in manager.segments():
-        offsets = _matching_offsets(segment, manager, predicate)
-        if offsets.size == 0:
-            continue
-        newly = manager.mark_deleted(segment.segment_id, offsets.tolist())
-        result.matched_rows += int(offsets.size)
-        result.deleted_rows += newly
+    with manager.transaction():
+        for segment in manager.segments():
+            offsets = _matching_offsets(segment, manager, predicate)
+            if offsets.size == 0:
+                continue
+            newly = manager.mark_deleted(segment.segment_id, offsets.tolist())
+            result.matched_rows += int(offsets.size)
+            result.deleted_rows += newly
     return result
 
 
@@ -102,6 +108,7 @@ def apply_update(
     result = UpdateResult()
     schema = writer._entry.schema  # same-table coupling by design
     pending_rows: List[Dict[str, Any]] = []
+    collected: List[Tuple[str, List[int]]] = []
     for segment in manager.segments():
         offsets = _matching_offsets(segment, manager, predicate)
         if offsets.size == 0:
@@ -128,13 +135,18 @@ def apply_update(
                 else:
                     row[column] = _cell(value, offset)
             pending_rows.append(row)
-        newly = manager.mark_deleted(segment.segment_id, offsets.tolist())
+        collected.append((segment.segment_id, offsets.tolist()))
         result.matched_rows += int(offsets.size)
-        result.deleted_rows += newly
-    if pending_rows:
-        report = writer.ingest_rows(pending_rows)
-        result.new_segment_ids = report.segment_ids
-        result.simulated_seconds = report.simulated_seconds
+    # Delete-marks and replacement segments publish as ONE manifest
+    # swap: no reader ever sees the rows gone but their successors not
+    # yet visible (or both versions at once).
+    with manager.transaction():
+        for segment_id, offsets in collected:
+            result.deleted_rows += manager.mark_deleted(segment_id, offsets)
+        if pending_rows:
+            report = writer.ingest_rows(pending_rows)
+            result.new_segment_ids = report.segment_ids
+            result.simulated_seconds = report.simulated_seconds
     return result
 
 

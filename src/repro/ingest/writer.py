@@ -143,13 +143,17 @@ class SegmentWriter:
         writes: List[float] = []
         builds: List[float] = []
         with self._clock.paused():
-            for partition_key, bucket_id, offsets in groups:
-                for chunk in _chunks(offsets, self.config.max_segment_rows):
-                    write_cost, build_cost = self._write_segment(
-                        scalar_columns, vectors, chunk, partition_key, bucket_id, report
-                    )
-                    writes.append(write_cost)
-                    builds.append(build_cost)
+            # One ingest batch = one manifest swap: readers see either
+            # none of the batch's segments or all of them.
+            with self._manager.transaction():
+                for partition_key, bucket_id, offsets in groups:
+                    for chunk in _chunks(offsets, self.config.max_segment_rows):
+                        write_cost, build_cost = self._write_segment(
+                            scalar_columns, vectors, chunk, partition_key,
+                            bucket_id, report,
+                        )
+                        writes.append(write_cost)
+                        builds.append(build_cost)
         report.write_seconds = sum(writes)
         report.build_seconds = sum(builds)
         if self.config.pipelined_index_build:

@@ -15,6 +15,7 @@ sequential children always sum to at most the parent's duration.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
@@ -126,10 +127,13 @@ def _fmt_tag(value: Any) -> str:
 class Tracer:
     """Builds span trees against a :class:`SimulatedClock`.
 
-    The tracer keeps a stack of open spans; :meth:`span` opens a child of
-    the innermost open span (or a new root) and closes it on exit.
-    Completed roots are retained (bounded) for ``EXPLAIN ANALYZE`` and
-    tests via :meth:`last_root`.
+    The tracer keeps a *per-thread* stack of open spans; :meth:`span`
+    opens a child of the calling thread's innermost open span (or a new
+    root) and closes it on exit.  Thread-local stacks keep concurrent
+    queries (the MVCC stress path runs searches from many threads) from
+    splicing their spans into each other's trees; completed roots are
+    retained (bounded, shared) for ``EXPLAIN ANALYZE`` and tests via
+    :meth:`last_root`.
     """
 
     def __init__(
@@ -138,13 +142,22 @@ class Tracer:
         max_roots: int = DEFAULT_MAX_ROOTS,
     ) -> None:
         self._clock = clock
-        self._stack: List[Span] = []
+        self._local = threading.local()
         self._roots: "deque[Span]" = deque(maxlen=max_roots)
 
     @property
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @property
     def current(self) -> Optional[Span]:
-        """The innermost open span, or None outside any span."""
-        return self._stack[-1] if self._stack else None
+        """The calling thread's innermost open span, or None."""
+        stack = self._stack
+        return stack[-1] if stack else None
 
     @property
     def roots(self) -> List[Span]:

@@ -10,12 +10,21 @@ A cache hit reuses the previously chosen strategy and search parameters;
 only the cheap binding step (which extracts the new literals) runs.  The
 engine charges ``plan_cached_overhead_s`` instead of ``plan_overhead_s``
 on hits, which is the Fig 17 "Query_Opt" effect.
+
+Under MVCC the cache key also carries the table's ``manifest_id``
+(``version``): statistics and segment layout belong to one manifest, so
+a plan optimized against manifest *n* must not be replayed against
+manifest *n+1* — and a time-travel ``AS OF n`` query re-running later
+hits the exact plan that manifest produced.  Commits therefore
+invalidate implicitly, by changing the key; the cache is also locked so
+concurrent readers can share it.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.planner.optimizer import PhysicalPlan
 from repro.sqlparser.lexer import TokenType, tokenize
@@ -53,39 +62,53 @@ def parameterize(sql: str) -> str:
 
 
 class PlanCache:
-    """LRU cache of physical-plan templates keyed by signature."""
+    """LRU cache of physical-plan templates keyed by (version, signature).
+
+    ``version`` is the manifest id the plan was optimized against; 0 for
+    single-version callers that never pass one.
+    """
 
     def __init__(self, capacity: int = 256) -> None:
         if capacity <= 0:
             raise ValueError("plan cache capacity must be positive")
         self.capacity = capacity
-        self._entries: "OrderedDict[str, PhysicalPlan]" = OrderedDict()
+        self._entries: "OrderedDict[Tuple[int, str], PhysicalPlan]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
-    def lookup(self, sql: str) -> Optional[PhysicalPlan]:
-        """Cached plan template for this query shape, or None."""
-        key = parameterize(sql)
-        plan = self._entries.get(key)
-        if plan is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return plan
+    def lookup(self, sql: str, version: int = 0) -> Optional[PhysicalPlan]:
+        """Cached plan template for this query shape at ``version``."""
+        key = (version, parameterize(sql))
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return plan
 
-    def store(self, sql: str, plan: PhysicalPlan) -> None:
-        """Remember ``plan`` as the template for this query shape."""
-        key = parameterize(sql)
-        if key in self._entries:
-            self._entries.pop(key)
-        elif len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
-        self._entries[key] = plan
+    def store(self, sql: str, plan: PhysicalPlan, version: int = 0) -> None:
+        """Remember ``plan`` as the template for this shape at ``version``."""
+        key = (version, parameterize(sql))
+        with self._lock:
+            if key in self._entries:
+                self._entries.pop(key)
+            elif len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+            self._entries[key] = plan
 
     def invalidate(self) -> None:
-        """Drop everything (schema or statistics changed materially)."""
-        self._entries.clear()
+        """Drop everything (schema changed materially).
+
+        Ordinary data commits don't need this — the manifest id in the
+        key already fences stale plans — but dropping a table or
+        redefining its schema invalidates every version at once.
+        """
+        with self._lock:
+            self._entries.clear()

@@ -245,6 +245,14 @@ class MetricRegistry:
         """Current value of counter ``name`` (zero if never incremented)."""
         return self.counters.get(name, 0)
 
+    def gauge(self, name: str, value: float) -> None:
+        """Set counter ``name`` to an absolute value (gauge semantics).
+
+        Used for point-in-time facts like ``mvcc.manifest_id`` or
+        ``mvcc.pinned_snapshots`` where increments would be meaningless.
+        """
+        self.counters[name] = int(value)
+
     def record_latency(self, name: str, seconds: float) -> None:
         """Record a latency observation under ``name`` (recorder and
         histogram both, so exports carry the full distribution)."""

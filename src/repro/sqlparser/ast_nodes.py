@@ -208,7 +208,11 @@ class SelectItem:
 
 @dataclass
 class Select(Statement):
-    """SELECT items FROM table [WHERE ...] [ORDER BY ...] [LIMIT n]."""
+    """SELECT items FROM table [AS OF n] [WHERE ...] [ORDER BY ...] [LIMIT n].
+
+    ``as_of`` pins the query to a historical manifest id (time travel);
+    None reads the current manifest.
+    """
 
     items: List[SelectItem]
     table: str
@@ -216,6 +220,7 @@ class Select(Statement):
     order_by: List[OrderByItem] = field(default_factory=list)
     limit: Optional[int] = None
     offset: int = 0
+    as_of: Optional[int] = None
 
 
 @dataclass

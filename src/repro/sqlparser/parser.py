@@ -362,6 +362,12 @@ class _Parser:
                 break
         self.expect_keyword("FROM")
         table = self.expect_identifier()
+        # Time travel: FROM <table> AS OF <manifest_id>.  Unambiguous
+        # because the grammar has no table aliases.
+        as_of: Optional[int] = None
+        if self.match_keyword("AS"):
+            self.expect_keyword("OF")
+            as_of = int(self.expect(TokenType.NUMBER).value)
         where = None
         if self.match_keyword("WHERE"):
             where = self.parse_expression()
@@ -397,6 +403,7 @@ class _Parser:
             order_by=order_by,
             limit=limit,
             offset=offset,
+            as_of=as_of,
         )
 
     # ------------------------------------------------------------------

@@ -75,10 +75,34 @@ class Compactor:
     config: CompactionConfig = field(default_factory=CompactionConfig)
     retire_hooks: List[RetireHook] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        # Physical deletion is deferred to the MVCC layer: a compacted
+        # input leaves the *current* manifest immediately, but its
+        # payloads and index survive until the last retained or pinned
+        # manifest referencing it expires.  Only then is it safe to
+        # delete objects and invalidate caches.
+        self.manager.on_retire(self._on_segment_retired)
+
     def on_retire(self, hook: RetireHook) -> None:
-        """Register a callback fired with (segment_id, index_key) when a
-        segment is retired — workers use it to invalidate index caches."""
+        """Register a callback fired with (segment_id, index_key) once a
+        segment is physically retired (no live manifest references it) —
+        workers use it to invalidate index caches."""
         self.retire_hooks.append(hook)
+
+    def _on_segment_retired(self, segment: Segment, index_key: Optional[str]) -> None:
+        """Manifest-store callback: last reference to ``segment`` died."""
+        for hook in self.retire_hooks:
+            hook(segment.segment_id, index_key)
+        if not self.config.delete_retired_objects:
+            return
+        with self.clock.paused():
+            for column in list(segment.scalar_column_names) + [
+                segment.meta.vector_column
+            ]:
+                self.store.delete(Segment.column_key(segment.segment_id, column))
+            self.store.delete(Segment.meta_key(segment.segment_id))
+            if index_key is not None:
+                self.store.delete(index_key)
 
     # ------------------------------------------------------------------
     # Policy
@@ -233,24 +257,17 @@ class Compactor:
                 )
                 simulated += self.cost.object_store_write(len(payload))
 
-            # Retire inputs after the replacement is fully persisted.
-            for segment in group:
-                old_index_key = self.manager.index_key(segment.segment_id)
-                self.manager.drop(segment.segment_id)
-                if segment.segment_id in self.entry.segment_ids:
-                    self.entry.segment_ids.remove(segment.segment_id)
-                for hook in self.retire_hooks:
-                    hook(segment.segment_id, old_index_key)
-                if self.config.delete_retired_objects:
-                    for column in list(segment.scalar_column_names) + [
-                        segment.meta.vector_column
-                    ]:
-                        self.store.delete(Segment.column_key(segment.segment_id, column))
-                    self.store.delete(Segment.meta_key(segment.segment_id))
-                    if old_index_key is not None:
-                        self.store.delete(old_index_key)
-
-            self.manager.commit(merged, index_key=index_key)
+            # Swap inputs for the merged segment in ONE manifest commit:
+            # concurrent readers observe either the whole group or its
+            # replacement, never a half-merged table.  Inputs are only
+            # *logically* dropped here — physical deletion waits for the
+            # retire callback once no snapshot can reach them.
+            with self.manager.transaction() as edit:
+                for segment in group:
+                    edit.drop(segment.segment_id)
+                    if segment.segment_id in self.entry.segment_ids:
+                        self.entry.segment_ids.remove(segment.segment_id)
+                edit.commit(merged, index_key=index_key)
             self.entry.segment_ids.append(new_id)
         self.clock.advance(simulated)
         self.metrics.incr("compaction.merges")

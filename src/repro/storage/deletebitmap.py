@@ -4,6 +4,12 @@ Updates never mutate an immutable segment in place.  Instead a new segment
 carries the fresh rows and the old rows are marked dead in a per-segment
 :class:`DeleteBitmap`.  Queries AND the alive mask into every scan;
 compaction physically drops dead rows and retires the bitmap.
+
+Bitmaps are copy-on-write under MVCC: the version committed into a table
+manifest is :meth:`frozen <DeleteBitmap.freeze>` (mutation raises), and a
+writer that needs to mark more rows dead first takes a :meth:`copy`,
+which bumps the ``version`` counter.  Pinned snapshots therefore keep
+seeing the exact alive set they were opened against.
 """
 
 from __future__ import annotations
@@ -12,16 +18,19 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.errors import SegmentError
 from repro.storage.blockio import decode_block, encode_block
 
 
 class DeleteBitmap:
     """A per-segment bitmap of logically deleted row offsets."""
 
-    def __init__(self, row_count: int) -> None:
+    def __init__(self, row_count: int, version: int = 0) -> None:
         if row_count < 0:
             raise ValueError("row_count must be non-negative")
         self._deleted = np.zeros(row_count, dtype=bool)
+        self.version = version
+        self._frozen = False
 
     @property
     def row_count(self) -> int:
@@ -38,12 +47,35 @@ class DeleteBitmap:
         """Number of rows not marked deleted."""
         return self.row_count - self.deleted_count
 
+    @property
+    def frozen(self) -> bool:
+        """Whether this bitmap version has been sealed against mutation."""
+        return self._frozen
+
+    def freeze(self) -> "DeleteBitmap":
+        """Seal this version: further mutation raises.  Returns ``self``.
+
+        Called when a bitmap is committed into a manifest so every pinned
+        snapshot observes an immutable alive set.
+        """
+        self._frozen = True
+        self._deleted.setflags(write=False)
+        return self
+
+    def _require_mutable(self) -> None:
+        if self._frozen:
+            raise SegmentError(
+                f"delete bitmap version {self.version} is frozen; "
+                "take a copy() before mutating (copy-on-write)"
+            )
+
     def mark_deleted(self, offsets: Iterable[int]) -> int:
         """Mark row ``offsets`` deleted; returns how many were newly marked.
 
         Re-deleting an already-dead row is a no-op (idempotent), matching
         how repeated UPDATEs of the same key behave.
         """
+        self._require_mutable()
         newly = 0
         for offset in offsets:
             if not 0 <= offset < self.row_count:
@@ -71,6 +103,7 @@ class DeleteBitmap:
 
     def merge(self, other: "DeleteBitmap") -> None:
         """OR another bitmap of the same shape into this one."""
+        self._require_mutable()
         if other.row_count != self.row_count:
             raise ValueError(
                 f"bitmap size mismatch: {other.row_count} vs {self.row_count}"
@@ -99,7 +132,12 @@ class DeleteBitmap:
         return bitmap
 
     def copy(self) -> "DeleteBitmap":
-        """Independent copy (used when snapshotting a version)."""
-        clone = DeleteBitmap(self.row_count)
+        """Mutable successor version (the copy-on-write step).
+
+        The clone starts unfrozen with ``version + 1`` and an independent
+        backing array, so marking rows dead in it never disturbs readers
+        of the frozen predecessor.
+        """
+        clone = DeleteBitmap(self.row_count, version=self.version + 1)
         clone._deleted = self._deleted.copy()
         return clone

@@ -1,4 +1,4 @@
-"""LSM-style segment manager.
+"""LSM-style segment manager, now a facade over versioned manifests.
 
 ByteHouse's storage engine keeps tables as sorted immutable segments that
 are periodically compacted (paper §VI-A).  The manager tracks, per table:
@@ -8,28 +8,35 @@ are periodically compacted (paper §VI-A).  The manager tracks, per table:
 * the object-store keys of each segment's persisted vector index,
 * LSM levels so the compactor can pick merge candidates.
 
-Segments are never mutated: updates mark old rows dead and commit new
+Since the MVCC refactor all of that state lives in immutable
+:class:`~repro.storage.manifest.Manifest` versions managed by a
+:class:`~repro.storage.manifest.ManifestStore`.  The manager keeps the
+pre-MVCC call surface — ``commit``/``drop``/``mark_deleted`` and the read
+accessors — but every mutation is staged on a
+:class:`~repro.storage.manifest.TransactionManager` edit and published as
+one atomic manifest swap, and every read goes through the calling
+thread's transactional view.  Readers that need repeatable state across
+a whole query pin a :meth:`snapshot` instead.
+
+Segments are never mutated: updates mark old rows dead (via frozen
+copy-on-write bitmaps committed into successor manifests) and commit new
 segments; compaction replaces many small segments with one larger one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
-from repro.errors import SegmentError
+from repro.simulate.metrics import MetricRegistry
 from repro.storage.deletebitmap import DeleteBitmap
+from repro.storage.manifest import (
+    DEFAULT_RETAINED_MANIFESTS,
+    ManifestStore,
+    RetireCallback,
+    Snapshot,
+    TransactionManager,
+)
 from repro.storage.segment import Segment, SegmentMeta
-
-
-@dataclass
-class _SegmentRecord:
-    """Bookkeeping for one visible segment."""
-
-    segment: Segment
-    bitmap: DeleteBitmap
-    index_key: Optional[str] = None
-    extra: Dict[str, object] = field(default_factory=dict)
 
 
 def index_storage_key(segment_id: str, index_type: str) -> str:
@@ -38,11 +45,48 @@ def index_storage_key(segment_id: str, index_type: str) -> str:
 
 
 class SegmentManager:
-    """Visibility and lifecycle of one table's segments."""
+    """Visibility and lifecycle of one table's segments.
 
-    def __init__(self) -> None:
-        self._records: Dict[str, _SegmentRecord] = {}
-        self._commit_order: List[str] = []
+    Thin facade: state lives in the :attr:`store` (manifest history) and
+    mutations go through the :attr:`txn` transaction manager.  Calling a
+    write method outside an explicit :meth:`transaction` block commits a
+    single-operation transaction (one manifest swap per call).
+    """
+
+    def __init__(
+        self,
+        table: str = "",
+        retain: int = DEFAULT_RETAINED_MANIFESTS,
+        metrics: Optional[MetricRegistry] = None,
+    ) -> None:
+        self.store = ManifestStore(table=table, retain=retain, metrics=metrics)
+        self.txn = TransactionManager(self.store)
+
+    # ------------------------------------------------------------------
+    # MVCC surface
+    # ------------------------------------------------------------------
+    @property
+    def manifest_id(self) -> int:
+        """Id of the currently published manifest."""
+        return self.store.current_id
+
+    def snapshot(self, manifest_id: Optional[int] = None) -> Snapshot:
+        """Pin a manifest (current when ``manifest_id`` is None).
+
+        The returned :class:`Snapshot` is a context manager; it exposes
+        the same read API as this facade but over one immutable version,
+        so a query sees a consistent segment set for its whole lifetime.
+        """
+        return self.store.pin(manifest_id)
+
+    def transaction(self):
+        """Batch several mutations into one atomic manifest swap."""
+        return self.txn.transaction()
+
+    def on_retire(self, hook: RetireCallback) -> None:
+        """Register ``(segment, index_key)`` callback fired when the last
+        live manifest referencing a segment expires."""
+        self.store.on_retire(hook)
 
     # ------------------------------------------------------------------
     # Commit / drop
@@ -55,92 +99,88 @@ class SegmentManager:
         SegmentError
             If a segment with the same id is already visible.
         """
-        if segment.segment_id in self._records:
-            raise SegmentError(f"segment {segment.segment_id!r} already committed")
-        self._records[segment.segment_id] = _SegmentRecord(
-            segment=segment,
-            bitmap=DeleteBitmap(segment.row_count),
-            index_key=index_key,
-        )
-        self._commit_order.append(segment.segment_id)
+        with self.transaction() as edit:
+            edit.commit(segment, index_key=index_key)
 
     def drop(self, segment_id: str) -> Segment:
-        """Remove a segment from visibility (compaction retires inputs)."""
-        record = self._records.pop(segment_id, None)
-        if record is None:
-            raise SegmentError(f"segment {segment_id!r} is not visible")
-        self._commit_order.remove(segment_id)
-        return record.segment
+        """Remove a segment from visibility (compaction retires inputs).
+
+        Physical payloads stay alive until no retained or pinned manifest
+        references the segment; see :meth:`on_retire`.
+        """
+        with self.transaction() as edit:
+            return edit.drop(segment_id)
 
     # ------------------------------------------------------------------
-    # Access
+    # Access (through the calling thread's transactional view)
     # ------------------------------------------------------------------
     def __contains__(self, segment_id: str) -> bool:
-        return segment_id in self._records
+        return segment_id in self.txn.view
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self.txn.view)
 
     def segment(self, segment_id: str) -> Segment:
         """The live segment object for ``segment_id``."""
-        return self._record(segment_id).segment
+        return self.txn.view.segment(segment_id)
 
     def bitmap(self, segment_id: str) -> DeleteBitmap:
-        """The delete bitmap for ``segment_id``."""
-        return self._record(segment_id).bitmap
+        """The (frozen) delete bitmap version for ``segment_id``."""
+        return self.txn.view.bitmap(segment_id)
 
     def index_key(self, segment_id: str) -> Optional[str]:
         """Object-store key of the segment's persisted vector index."""
-        return self._record(segment_id).index_key
+        return self.txn.view.index_key(segment_id)
 
     def set_index_key(self, segment_id: str, key: str) -> None:
         """Record where the segment's vector index was persisted."""
-        self._record(segment_id).index_key = key
+        with self.transaction() as edit:
+            edit.set_index_key(segment_id, key)
 
     def segments(self) -> List[Segment]:
         """All visible segments in commit order."""
-        return [self._records[sid].segment for sid in self._commit_order]
+        return self.txn.view.segments()
 
     def metas(self) -> List[SegmentMeta]:
         """Metadata of all visible segments in commit order."""
-        return [self._records[sid].segment.meta for sid in self._commit_order]
+        return self.txn.view.metas()
 
     def segment_ids(self) -> List[str]:
         """Ids of visible segments in commit order."""
-        return list(self._commit_order)
-
-    def _record(self, segment_id: str) -> _SegmentRecord:
-        try:
-            return self._records[segment_id]
-        except KeyError:
-            raise SegmentError(f"segment {segment_id!r} is not visible") from None
+        return self.txn.view.segment_ids()
 
     # ------------------------------------------------------------------
     # Row accounting
     # ------------------------------------------------------------------
-    def mark_deleted(self, segment_id: str, offsets) -> int:
-        """Mark rows dead in one segment; returns newly deleted count."""
-        return self._record(segment_id).bitmap.mark_deleted(offsets)
+    def mark_deleted(self, segment_id: str, offsets: Iterable[int]) -> int:
+        """Mark rows dead in one segment; returns newly deleted count.
+
+        Copy-on-write: the visible frozen bitmap is cloned, mutated, and
+        committed as a successor version — snapshots pinned against older
+        manifests keep observing the alive set they opened with.
+        """
+        with self.transaction() as edit:
+            successor = edit.bitmap(segment_id).copy()
+            newly = successor.mark_deleted(offsets)
+            if newly:
+                edit.set_bitmap(segment_id, successor.freeze())
+            return newly
 
     def alive_rows(self) -> int:
         """Visible (non-deleted) rows across all segments."""
-        return sum(record.bitmap.alive_count for record in self._records.values())
+        return self.txn.view.alive_rows()
 
     def total_rows(self) -> int:
         """Physical rows including logically deleted ones."""
-        return sum(record.segment.row_count for record in self._records.values())
+        return self.txn.view.total_rows()
 
     def deleted_rows(self) -> int:
         """Logically deleted rows awaiting compaction."""
-        return self.total_rows() - self.alive_rows()
+        return self.txn.view.deleted_rows()
 
     # ------------------------------------------------------------------
     # Compaction support
     # ------------------------------------------------------------------
     def segments_by_level(self) -> Dict[int, List[Segment]]:
         """Visible segments grouped by LSM level."""
-        by_level: Dict[int, List[Segment]] = {}
-        for sid in self._commit_order:
-            segment = self._records[sid].segment
-            by_level.setdefault(segment.meta.level, []).append(segment)
-        return by_level
+        return self.txn.view.segments_by_level()

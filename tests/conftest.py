@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -48,6 +50,39 @@ def small_vectors(n: int = 300, dim: int = 16, seed: int = 0) -> np.ndarray:
 def vectors() -> np.ndarray:
     return small_vectors()
 
+
+
+@pytest.fixture(autouse=True)
+def _mvcc_leak_guard():
+    """With MVCC_LEAK_CHECK=1, fail any test that leaks snapshot pins.
+
+    A pin that outlives its query blocks segment retirement forever; the
+    concurrency-stress CI job runs the suite under this guard.
+    """
+    if os.environ.get("MVCC_LEAK_CHECK") != "1":
+        yield
+        return
+    from repro.storage.manifest import live_pinned_snapshots
+
+    before = live_pinned_snapshots()
+    yield
+    leaked = live_pinned_snapshots() - before
+    assert leaked <= 0, f"{leaked} pinned snapshot(s) leaked by this test"
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Process-exit leak gate for the concurrency-stress CI job."""
+    if os.environ.get("MVCC_LEAK_CHECK") != "1":
+        return
+    from repro.storage.manifest import live_pinned_snapshots
+
+    leaked = live_pinned_snapshots()
+    if leaked:
+        print(
+            f"\nMVCC leak check: {leaked} pinned snapshot(s) still live "
+            "at process exit"
+        )
+        session.exitstatus = 1
 
 
 @pytest.fixture

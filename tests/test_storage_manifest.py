@@ -1,0 +1,285 @@
+"""Tests for the MVCC manifest layer (versioned snapshots + refcounts)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ManifestError, SegmentError, SnapshotExpiredError
+from repro.storage.deletebitmap import DeleteBitmap
+from repro.storage.lsm import SegmentManager
+from repro.storage.manifest import (
+    ManifestStore,
+    TransactionManager,
+    live_pinned_snapshots,
+)
+from repro.storage.segment import Segment
+
+
+def seg(segment_id: str, n: int = 10, level: int = 0) -> Segment:
+    rng = np.random.default_rng(hash(segment_id) % (2**31))
+    return Segment.from_columns(
+        segment_id, "t",
+        {"id": np.arange(n, dtype=np.uint64)},
+        rng.normal(size=(n, 4)).astype(np.float32),
+        level=level,
+    )
+
+
+class TestAtomicSwap:
+    def test_commit_bumps_manifest_id(self):
+        store = ManifestStore("t")
+        assert store.current_id == 0
+        edit = store.current.edit()
+        edit.commit(seg("s1"))
+        store.publish(edit)
+        assert store.current_id == 1
+        assert store.current.segment_ids() == ["s1"]
+
+    def test_multi_op_edit_is_one_swap(self):
+        store = ManifestStore("t")
+        edit = store.current.edit()
+        edit.commit(seg("a"))
+        edit.commit(seg("b"))
+        edit.commit(seg("c"))
+        store.publish(edit)
+        # Three segments became visible under ONE new manifest id.
+        assert store.current_id == 1
+        assert store.current.segment_ids() == ["a", "b", "c"]
+
+    def test_stale_edit_rejected(self):
+        store = ManifestStore("t")
+        stale = store.current.edit()
+        stale.commit(seg("a"))
+        fresh = store.current.edit()
+        fresh.commit(seg("b"))
+        store.publish(fresh)
+        with pytest.raises(ManifestError, match="stale edit"):
+            store.publish(stale)
+
+    def test_manifests_are_immutable_snapshots(self):
+        store = ManifestStore("t")
+        edit = store.current.edit()
+        edit.commit(seg("a"))
+        first = store.publish(edit)
+        edit = store.current.edit()
+        edit.drop("a")
+        edit.commit(seg("b"))
+        store.publish(edit)
+        # The old manifest still shows the old world.
+        assert first.segment_ids() == ["a"]
+        assert store.current.segment_ids() == ["b"]
+
+
+class TestEditValidation:
+    def test_duplicate_commit(self):
+        store = ManifestStore("t")
+        edit = store.current.edit()
+        edit.commit(seg("a"))
+        with pytest.raises(SegmentError):
+            edit.commit(seg("a"))
+
+    def test_drop_unknown(self):
+        store = ManifestStore("t")
+        edit = store.current.edit()
+        with pytest.raises(SegmentError):
+            edit.drop("ghost")
+
+    def test_set_bitmap_requires_frozen(self):
+        store = ManifestStore("t")
+        edit = store.current.edit()
+        edit.commit(seg("a", n=10))
+        with pytest.raises(ManifestError, match="frozen"):
+            edit.set_bitmap("a", DeleteBitmap(10))
+
+    def test_set_bitmap_requires_matching_rows(self):
+        store = ManifestStore("t")
+        edit = store.current.edit()
+        edit.commit(seg("a", n=10))
+        with pytest.raises(ManifestError, match="rows"):
+            edit.set_bitmap("a", DeleteBitmap(7).freeze())
+
+    def test_committed_bitmaps_are_frozen(self):
+        manager = SegmentManager()
+        manager.commit(seg("a", n=10))
+        bitmap = manager.bitmap("a")
+        assert bitmap.frozen
+        with pytest.raises(SegmentError, match="copy-on-write"):
+            bitmap.mark_deleted([0])
+
+
+class TestCopyOnWriteBitmaps:
+    def test_mark_deleted_creates_successor_version(self):
+        manager = SegmentManager()
+        manager.commit(seg("a", n=10))
+        before = manager.bitmap("a")
+        assert manager.mark_deleted("a", [1, 2]) == 2
+        after = manager.bitmap("a")
+        assert after is not before
+        assert after.version > before.version
+        # The old version is untouched: snapshots that pinned it still
+        # see all ten rows alive.
+        assert before.alive_count == 10
+        assert after.alive_count == 8
+
+    def test_noop_delete_publishes_nothing(self):
+        manager = SegmentManager()
+        manager.commit(seg("a", n=10))
+        manager.mark_deleted("a", [3])
+        before_id = manager.manifest_id
+        assert manager.mark_deleted("a", [3]) == 0
+        assert manager.manifest_id == before_id
+
+
+class TestSnapshots:
+    def test_snapshot_isolated_from_later_commits(self):
+        manager = SegmentManager()
+        manager.commit(seg("a", n=10))
+        with manager.snapshot() as snap:
+            manager.commit(seg("b", n=5))
+            manager.mark_deleted("a", [0, 1, 2])
+            # The pinned view is frozen in time.
+            assert snap.segment_ids() == ["a"]
+            assert snap.bitmap("a").alive_count == 10
+        # The live view moved on.
+        assert manager.segment_ids() == ["a", "b"]
+        assert manager.bitmap("a").alive_count == 7
+
+    def test_as_of_pin_by_id(self):
+        manager = SegmentManager()
+        manager.commit(seg("a"))
+        old_id = manager.manifest_id
+        manager.commit(seg("b"))
+        with manager.snapshot(old_id) as snap:
+            assert snap.manifest_id == old_id
+            assert snap.segment_ids() == ["a"]
+
+    def test_unknown_manifest_raises(self):
+        manager = SegmentManager()
+        with pytest.raises(SnapshotExpiredError):
+            manager.snapshot(99)
+
+    def test_expired_manifest_raises(self):
+        manager = SegmentManager(retain=2)
+        for i in range(6):
+            manager.commit(seg(f"s{i}"))
+        with pytest.raises(SnapshotExpiredError):
+            manager.snapshot(1)
+
+    def test_release_is_idempotent(self):
+        manager = SegmentManager()
+        manager.commit(seg("a"))
+        snap = manager.snapshot()
+        snap.release()
+        snap.release()
+        assert manager.store.pinned_count == 0
+
+    def test_pin_counts(self):
+        store = ManifestStore("t")
+        s1 = store.pin()
+        s2 = store.pin()
+        assert store.pinned_count == 2
+        s1.release()
+        s2.release()
+        assert store.pinned_count == 0
+
+    def test_double_release_raises_at_store_level(self):
+        store = ManifestStore("t")
+        store.pin().release()
+        with pytest.raises(ManifestError):
+            store.release(0)
+
+    def test_leak_accounting_is_process_wide(self):
+        before = live_pinned_snapshots()
+        manager = SegmentManager()
+        snap = manager.snapshot()
+        assert live_pinned_snapshots() == before + 1
+        snap.release()
+        assert live_pinned_snapshots() == before
+
+
+class TestRetirement:
+    def test_dropped_segment_retires_when_unpinned(self):
+        manager = SegmentManager(retain=1)
+        retired = []
+        manager.on_retire(lambda s, key: retired.append((s.segment_id, key)))
+        manager.commit(seg("a"), index_key="idx/a")
+        manager.drop("a")
+        assert retired == [("a", "idx/a")]
+
+    def test_pin_defers_retirement(self):
+        manager = SegmentManager(retain=1)
+        retired = []
+        manager.on_retire(lambda s, key: retired.append(s.segment_id))
+        manager.commit(seg("a"))
+        snap = manager.snapshot()  # pins the manifest containing "a"
+        manager.drop("a")
+        assert retired == []
+        snap.release()
+        assert retired == ["a"]
+
+    def test_retirement_fires_once_per_segment(self):
+        manager = SegmentManager(retain=1)
+        retired = []
+        manager.on_retire(lambda s, key: retired.append(s.segment_id))
+        manager.commit(seg("a"))
+        s1 = manager.snapshot()
+        s2 = manager.snapshot()
+        manager.drop("a")
+        s1.release()
+        s2.release()
+        assert retired == ["a"]
+
+    def test_surviving_segments_not_retired(self):
+        manager = SegmentManager(retain=1)
+        retired = []
+        manager.on_retire(lambda s, key: retired.append(s.segment_id))
+        manager.commit(seg("a"))
+        manager.commit(seg("b"))
+        manager.drop("a")
+        assert retired == ["a"]
+        assert "b" in manager
+
+
+class TestTransactions:
+    def test_nested_transactions_publish_once(self):
+        manager = SegmentManager()
+        with manager.transaction():
+            manager.commit(seg("a"))
+            with manager.transaction():
+                manager.commit(seg("b"))
+            # Still unpublished: the outer transaction owns the edit.
+            assert manager.store.current_id == 0
+        assert manager.store.current_id == 1
+        assert manager.segment_ids() == ["a", "b"]
+
+    def test_exception_aborts_whole_transaction(self):
+        manager = SegmentManager()
+        manager.commit(seg("a"))
+        with pytest.raises(RuntimeError):
+            with manager.transaction():
+                manager.drop("a")
+                manager.commit(seg("b"))
+                raise RuntimeError("boom")
+        # Nothing landed: the abort discarded the staged edit.
+        assert manager.segment_ids() == ["a"]
+
+    def test_owner_thread_reads_pending_writes(self):
+        manager = SegmentManager()
+        with manager.transaction():
+            manager.commit(seg("a"))
+            assert "a" in manager  # own uncommitted write is visible
+            assert manager.alive_rows() == 10
+
+    def test_readers_see_published_state_only(self):
+        store = ManifestStore("t")
+        txn = TransactionManager(store)
+        with txn.transaction() as edit:
+            edit.commit(seg("a"))
+            # A non-owner view (the published manifest) is still empty.
+            assert len(store.current) == 0
+        assert len(store.current) == 1
+
+    def test_empty_transaction_publishes_nothing(self):
+        manager = SegmentManager()
+        with manager.transaction():
+            pass
+        assert manager.store.current_id == 0
