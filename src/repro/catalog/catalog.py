@@ -83,3 +83,11 @@ class Catalog:
     def table_names(self) -> List[str]:
         """All registered table names, sorted."""
         return sorted(self._tables)
+
+    def entries(self) -> List[TableEntry]:
+        """All table entries in creation order.
+
+        Checkpoints serialize in this order so recovery rebuilds tables
+        deterministically.
+        """
+        return list(self._tables.values())

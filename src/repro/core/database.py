@@ -31,9 +31,11 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.catalog.catalog import Catalog
+from repro.catalog.catalog import Catalog, TableEntry
 from repro.catalog.schema import TableSchema
 from repro.core.table import TableRuntime
+from repro.durability.manager import DurabilityConfig, DurabilityManager
+from repro.durability.recovery import RecoveryReport, run_recovery
 from repro.errors import BlendHouseError, SQLError
 from repro.executor.columnio import ColumnReader, ReadOptConfig
 from repro.executor.parallel import (
@@ -62,6 +64,7 @@ from repro.simulate.clock import SimulatedClock
 from repro.simulate.costmodel import DeviceCostModel
 from repro.simulate.metrics import MetricRegistry
 from repro.sqlparser.ast_nodes import (
+    Checkpoint,
     CreateTable,
     Delete,
     DropTable,
@@ -202,12 +205,22 @@ class BlendHouse:
         ingest_config: Optional[IngestConfig] = None,
         read_config: Optional[ReadOptConfig] = None,
         settings: Optional[EngineSettings] = None,
+        store: Optional[ObjectStore] = None,
+        durability: Optional[DurabilityConfig] = None,
     ) -> None:
-        self.clock = clock or SimulatedClock()
-        self.cost = cost_model or DeviceCostModel()
+        self.clock = clock or (store.clock if store is not None else SimulatedClock())
+        self.cost = cost_model or (
+            store.cost_model if store is not None else DeviceCostModel()
+        )
         self.metrics = MetricRegistry()
         self.tracer = Tracer(self.clock)
-        self.store = ObjectStore(self.clock, self.cost, self.metrics)
+        if store is not None:
+            # Recovery path: reuse the surviving shared store (and its
+            # clock/cost model unless overridden above).
+            self.store = store
+            store.rebind_metrics(self.metrics)
+        else:
+            self.store = ObjectStore(self.clock, self.cost, self.metrics)
         self.catalog = Catalog()
         self.settings = settings or EngineSettings()
         self.plan_cache = PlanCache()
@@ -215,6 +228,8 @@ class BlendHouse:
         self._read_config = read_config or ReadOptConfig()
         self.reader = ColumnReader(self.clock, self.cost, self.metrics, self._read_config)
         self._tables: Dict[str, TableRuntime] = {}
+        self.last_recovery: Optional[RecoveryReport] = None
+        self._durability = DurabilityManager(self, durability)
 
     # ------------------------------------------------------------------
     # Table access
@@ -223,6 +238,16 @@ class BlendHouse:
         """Runtime state for table ``name``."""
         self.catalog.get(name)  # raises if unknown
         return self._tables[name]
+
+    def _attach_runtime(self, entry: TableEntry) -> TableRuntime:
+        """Build and register the runtime for a (new or recovered) table."""
+        runtime = TableRuntime(
+            entry, self.store, self.clock, self.cost, self.metrics,
+            ingest_config=self._ingest_config, tracer=self.tracer,
+        )
+        self._tables[entry.schema.name] = runtime
+        self._durability.register_table(runtime)
+        return runtime
 
     # ------------------------------------------------------------------
     # SQL entry point
@@ -259,15 +284,19 @@ class BlendHouse:
                 runtime.manager, runtime.writer, statement.assignments, statement.where
             )
             self._maybe_compact(runtime)
+            self._durability.statement_boundary()
             return result
         if isinstance(statement, Delete):
             runtime = self.table(statement.table)
             result = apply_delete(runtime.manager, statement.where)
             self._maybe_compact(runtime)
+            self._durability.statement_boundary()
             return result
         if isinstance(statement, SetStatement):
             self.settings.apply(statement.name, statement.value)
             return {"setting": statement.name, "value": statement.value}
+        if isinstance(statement, Checkpoint):
+            return self.checkpoint(reason="statement")
         raise BlendHouseError(f"unhandled statement type {type(statement).__name__}")
 
     # ------------------------------------------------------------------
@@ -303,30 +332,44 @@ class BlendHouse:
         )
         if index_spec is not None:
             schema.vector_dim = index_spec.dim if index_spec.dim > 1 else 0
+        created = schema.name not in self.catalog
         entry = self.catalog.create_table(schema, if_not_exists=statement.if_not_exists)
         if schema.name not in self._tables:
-            self._tables[schema.name] = TableRuntime(
-                entry, self.store, self.clock, self.cost, self.metrics,
-                ingest_config=self._ingest_config, tracer=self.tracer,
-            )
+            self._attach_runtime(entry)
+        if created:
+            self._durability.log_create(entry.schema)
+            self._durability.statement_boundary()
         return schema
 
     def _execute_drop(self, statement: DropTable) -> bool:
         runtime = self._tables.get(statement.name)
         dropped = self.catalog.drop_table(statement.name, if_exists=statement.if_exists)
         self._tables.pop(statement.name, None)
+        if dropped:
+            # The drop record must be durable before any payload dies.
+            self._durability.log_drop(statement.name)
+            self._durability.statement_boundary()
         if dropped and runtime is not None:
             # Garbage-collect the table's persisted state so the shared
             # store does not leak dropped tables' segments and indexes.
+            keys: List[str] = []
             for segment in runtime.manager.segments():
                 for column in list(segment.scalar_column_names) + [
                     segment.meta.vector_column
                 ]:
-                    self.store.delete(Segment.column_key(segment.segment_id, column))
-                self.store.delete(Segment.meta_key(segment.segment_id))
+                    keys.append(Segment.column_key(segment.segment_id, column))
+                keys.append(Segment.meta_key(segment.segment_id))
                 index_key = runtime.manager.index_key(segment.segment_id)
                 if index_key is not None:
-                    self.store.delete(index_key)
+                    keys.append(index_key)
+            if self._durability.active:
+                # Deletion is only safe once no checkpoint references
+                # these objects; checkpointing now makes it immediate.
+                self._durability.defer_keys(keys)
+                self._durability.checkpoint(reason="drop")
+            else:
+                for key in keys:
+                    self.store.delete(key)
         return dropped
 
     # ------------------------------------------------------------------
@@ -344,6 +387,7 @@ class BlendHouse:
             report = runtime.writer.ingest_rows(rows)
             self.plan_cache.invalidate()
             self._maybe_compact(runtime)
+            self._durability.statement_boundary()
             return report
         columns = statement.columns or schema.column_order
         if len(columns) != len(schema.column_order) or set(columns) != set(schema.column_order):
@@ -352,6 +396,7 @@ class BlendHouse:
         report = runtime.writer.ingest_rows(rows)
         self.plan_cache.invalidate()
         self._maybe_compact(runtime)
+        self._durability.statement_boundary()
         return report
 
     def insert_rows(self, table: str, rows: List[Dict[str, Any]]) -> IngestReport:
@@ -360,6 +405,7 @@ class BlendHouse:
         report = runtime.writer.ingest_rows(rows)
         self.plan_cache.invalidate()
         self._maybe_compact(runtime)
+        self._durability.statement_boundary()
         return report
 
     def insert_columns(
@@ -370,6 +416,7 @@ class BlendHouse:
         report = runtime.writer.ingest_columns(scalar_columns, vectors)
         self.plan_cache.invalidate()
         self._maybe_compact(runtime)
+        self._durability.statement_boundary()
         return report
 
     def compact(self, table: str) -> List[Any]:
@@ -378,6 +425,9 @@ class BlendHouse:
         results = runtime.compactor.compact_all()
         if results:
             self.plan_cache.invalidate()
+            self._durability.statement_boundary()
+            if self._durability.config.checkpoint_on_compaction:
+                self._durability.checkpoint(reason="compaction")
         return results
 
     def _maybe_compact(self, runtime: TableRuntime) -> None:
@@ -801,6 +851,76 @@ class BlendHouse:
             )
         plan = self._plan_select(inner_sql, statement.statement)
         return ExplainResult(sql=inner_sql, analyze=False, plan=plan, trace=root)
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def checkpoint(self, reason: str = "manual") -> Dict[str, Any]:
+        """Force a durability checkpoint (also reachable via CHECKPOINT SQL).
+
+        Serializes the catalog and every table's current manifest to the
+        object store, swaps the checkpoint pointer atomically, and
+        truncates the WAL up to the checkpointed LSN.
+        """
+        info = self._durability.checkpoint(reason=reason)
+        if info is None:
+            return {"checkpoint": None, "enabled": self._durability.enabled}
+        return {
+            "checkpoint": info.checkpoint_id,
+            "wal_lsn": info.wal_lsn,
+            "tables": info.tables,
+            "bytes": info.nbytes,
+            "reason": info.reason,
+        }
+
+    def durability_status(self) -> Dict[str, Any]:
+        """WAL/checkpoint state for introspection and tests."""
+        return self._durability.status()
+
+    def restart(self) -> "BlendHouse":
+        """Simulate a clean node restart: cold boot from shared storage.
+
+        Flushes the WAL (so nothing acknowledged is lost), then builds a
+        fresh engine over the same object store via :meth:`recover`.  The
+        old instance must not be used afterwards.
+        """
+        self._durability.statement_boundary()
+        return type(self).recover(
+            self.store,
+            ingest_config=self._ingest_config,
+            read_config=self._read_config,
+            durability=self._durability.config,
+        )
+
+    @classmethod
+    def recover(
+        cls,
+        store: ObjectStore,
+        ingest_config: Optional[IngestConfig] = None,
+        read_config: Optional[ReadOptConfig] = None,
+        durability: Optional[DurabilityConfig] = None,
+        settings: Optional[EngineSettings] = None,
+    ) -> "BlendHouse":
+        """Cold-start a BlendHouse node from a surviving object store.
+
+        Loads the latest checkpoint, replays the WAL tail, and returns a
+        fully usable engine.  The :class:`RecoveryReport` is available as
+        ``db.last_recovery``.
+        """
+        config = durability or DurabilityConfig()
+        if not config.enabled:
+            config = replace(config, enabled=True)
+        db = cls(
+            store=store,
+            ingest_config=ingest_config,
+            read_config=read_config,
+            settings=settings,
+            durability=config,
+        )
+        with db._durability.suspended():
+            report = run_recovery(db)
+        db.last_recovery = report
+        return db
 
     # ------------------------------------------------------------------
     # Observability

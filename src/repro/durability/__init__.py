@@ -1,0 +1,53 @@
+"""Durability subsystem: WAL, checkpoints, cold-restart recovery.
+
+Makes compute genuinely stateless over the shared object store (the
+paper's Fig 1 contract): a ``Database`` can be killed at any point and
+recovered from the store alone — latest checkpoint plus WAL tail —
+answering queries identically to a never-crashed twin.
+"""
+
+from repro.durability.checkpoint import (
+    Checkpointer,
+    CheckpointInfo,
+    load_checkpoint,
+    load_pointer,
+)
+from repro.durability.crashpoints import (
+    CRASH_POINTS,
+    DURABLE_POINTS,
+    CrashPointRegistry,
+    InjectedCrash,
+)
+from repro.durability.manager import DurabilityConfig, DurabilityManager
+from repro.durability.recovery import RecoveryReport, run_recovery
+from repro.durability.wal import (
+    FLAG_GROUP_COMMIT,
+    WalRecord,
+    WalReplayState,
+    WriteAheadLog,
+    decode_frames,
+    encode_frame,
+    read_wal,
+)
+
+__all__ = [
+    "CRASH_POINTS",
+    "DURABLE_POINTS",
+    "Checkpointer",
+    "CheckpointInfo",
+    "CrashPointRegistry",
+    "DurabilityConfig",
+    "DurabilityManager",
+    "FLAG_GROUP_COMMIT",
+    "InjectedCrash",
+    "RecoveryReport",
+    "WalRecord",
+    "WalReplayState",
+    "WriteAheadLog",
+    "decode_frames",
+    "encode_frame",
+    "load_checkpoint",
+    "load_pointer",
+    "read_wal",
+    "run_recovery",
+]

@@ -1,0 +1,115 @@
+"""Crash injection for the durability write path.
+
+Every durability-critical step calls :meth:`CrashPointRegistry.hit` with
+a stable name; an armed registry raises :class:`InjectedCrash` there,
+modeling the process dying at exactly that point.  Tests then abandon
+the engine instance and recover a fresh one from the surviving object
+store, asserting it matches a never-crashed twin.
+
+Two arming modes:
+
+* :meth:`arm` kills a *named* point on its n-th hit (deterministic
+  coverage of every point);
+* :meth:`arm_countdown` kills the n-th durability event regardless of
+  name (randomized fuzzing; pair with :meth:`count` to learn how many
+  events a history produces).
+
+The durable-outcome oracle: a statement is acknowledged — and must
+survive recovery — iff its group commit reached ``wal.after_flush``.
+Crash points in :data:`DURABLE_POINTS` fire only after that barrier, so
+tests can maintain an uncrashed twin deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+# Named kill sites on the write path, in the order they occur within a
+# statement (WAL group commit) and within a checkpoint.
+CRASH_POINTS: Tuple[str, ...] = (
+    "wal.before_append",      # record not yet logged (pre manifest publish)
+    "wal.after_append",       # record buffered, not yet durable
+    "wal.before_flush",       # group commit assembled, chunk not uploaded
+    "wal.after_flush",        # chunk durable: the acknowledgment barrier
+    "checkpoint.before_upload",   # checkpoint requested, nothing written
+    "checkpoint.mid_upload",      # data object written, pointer not swapped
+    "checkpoint.before_truncate",  # pointer swapped, WAL not yet truncated
+    "checkpoint.after_truncate",   # checkpoint complete, GC about to run
+)
+
+# Crash points that fire only after the current statement's group commit
+# is durable: a crash here must NOT lose the statement.
+DURABLE_POINTS = frozenset(
+    (
+        "wal.after_flush",
+        "checkpoint.before_upload",
+        "checkpoint.mid_upload",
+        "checkpoint.before_truncate",
+        "checkpoint.after_truncate",
+    )
+)
+
+
+class InjectedCrash(BaseException):
+    """The simulated process died at a crash point.
+
+    Derives from ``BaseException`` so no library-level ``except
+    Exception`` handler can absorb it — a crash must unwind everything.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"injected crash at {point}")
+        self.point = point
+
+
+class CrashPointRegistry:
+    """Arming state shared by one engine's durability components."""
+
+    def __init__(self) -> None:
+        self._armed_point: Optional[str] = None
+        self._armed_hits = 0
+        self._countdown = 0
+        self._counting = False
+        self.hits = 0
+        self.fired: Optional[str] = None
+
+    def arm(self, point: str, at_hit: int = 1) -> None:
+        """Crash at the ``at_hit``-th hit of ``point``."""
+        if point not in CRASH_POINTS:
+            raise ValueError(f"unknown crash point {point!r}")
+        self._armed_point = point
+        self._armed_hits = max(1, int(at_hit))
+
+    def arm_countdown(self, events: int) -> None:
+        """Crash at the ``events``-th durability event of any name."""
+        self._countdown = max(1, int(events))
+
+    def counting(self, enabled: bool = True) -> None:
+        """Count hits without crashing (to size a fuzz countdown)."""
+        self._counting = enabled
+
+    def reset(self) -> None:
+        """Disarm everything and clear counters."""
+        self._armed_point = None
+        self._armed_hits = 0
+        self._countdown = 0
+        self._counting = False
+        self.hits = 0
+        self.fired = None
+
+    def hit(self, point: str) -> None:
+        """Record one pass through ``point``; raise if armed for it."""
+        self.hits += 1
+        if self._counting:
+            return
+        if self._armed_point == point:
+            self._armed_hits -= 1
+            if self._armed_hits <= 0:
+                self._armed_point = None
+                self.fired = point
+                raise InjectedCrash(point)
+        if self._countdown > 0:
+            self._countdown -= 1
+            if self._countdown == 0:
+                self.fired = point
+                raise InjectedCrash(point)

@@ -1,0 +1,280 @@
+"""Write-ahead log over the shared object store.
+
+Every mutation that survives a crash is first described by a WAL record:
+manifest commits (ingest batches, DELETE/UPDATE bitmap successors,
+compaction swaps), DDL, and statistics refreshes.  Records are buffered
+per statement and flushed as one *group commit*: a single chunk object
+``wal/chunk-<seq>`` appended to the object store, charged the simulated
+log-append and fsync costs.  A statement is acknowledged only once its
+chunk is durable.
+
+Frame format (little-endian)::
+
+    magic  "WL"          2 bytes
+    flags  u8            bit 0 = last record of a group commit
+    lsn    u64           monotonically increasing across chunks
+    length u32           payload length in bytes
+    crc    u32           CRC32 over (magic, flags, lsn, length, payload)
+    payload              pickled {"kind": ..., **data}
+
+Replay (:func:`read_wal`) validates every frame.  A torn or corrupt tail
+in the *last* chunk is expected after a crash: the chunk is truncated
+back to the last frame carrying the group-commit flag (dropping any
+valid prefix of the incomplete group, keeping statements atomic).
+Corruption anywhere else raises :class:`WALCorruptionError`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import threading
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.durability.crashpoints import CrashPointRegistry
+from repro.errors import WALCorruptionError
+from repro.simulate.metrics import MetricRegistry
+from repro.storage.objectstore import ObjectStore
+
+_MAGIC = b"WL"
+_HEAD = struct.Struct("<2sBQII")  # magic, flags, lsn, length, crc
+FLAG_GROUP_COMMIT = 0x01
+
+
+@dataclass
+class WalRecord:
+    """One decoded WAL record."""
+
+    lsn: int
+    kind: str
+    data: Dict[str, Any]
+    group_end: bool = False
+
+
+def encode_frame(lsn: int, kind: str, data: Dict[str, Any], flags: int = 0) -> bytes:
+    """Serialize one record into its CRC-framed wire form."""
+    payload = pickle.dumps({"kind": kind, **data}, protocol=pickle.HIGHEST_PROTOCOL)
+    head = struct.pack("<2sBQI", _MAGIC, flags, lsn, len(payload))
+    crc = zlib.crc32(head + payload) & 0xFFFFFFFF
+    return head + struct.pack("<I", crc) + payload
+
+
+def decode_frames(body: bytes) -> "tuple[List[WalRecord], int, bool]":
+    """Parse frames from one chunk body.
+
+    Returns ``(records, valid_bytes, clean)`` where ``valid_bytes`` is
+    the offset just past the last frame that passed CRC validation and
+    ``clean`` is False when trailing bytes failed to parse (torn tail).
+    Each record's byte end-offset is tracked so callers can truncate at
+    group-commit boundaries.
+    """
+    records: List[WalRecord] = []
+    offset = 0
+    clean = True
+    size = len(body)
+    while offset < size:
+        if offset + _HEAD.size > size:
+            clean = False
+            break
+        magic, flags, lsn, length, crc = _HEAD.unpack_from(body, offset)
+        start = offset + _HEAD.size
+        end = start + length
+        if magic != _MAGIC or end > size:
+            clean = False
+            break
+        payload = body[start:end]
+        head = body[offset : offset + _HEAD.size - 4]
+        if zlib.crc32(head + payload) & 0xFFFFFFFF != crc:
+            clean = False
+            break
+        obj = pickle.loads(payload)
+        kind = obj.pop("kind")
+        record = WalRecord(
+            lsn=lsn, kind=kind, data=obj,
+            group_end=bool(flags & FLAG_GROUP_COMMIT),
+        )
+        record.end_offset = end  # type: ignore[attr-defined]
+        records.append(record)
+        offset = end
+    return records, offset if clean else offset, clean
+
+
+@dataclass
+class WalReplayState:
+    """Everything :func:`read_wal` learned about the surviving log."""
+
+    records: List[WalRecord] = field(default_factory=list)
+    next_lsn: int = 1
+    next_chunk: int = 0
+    chunk_high_lsn: Dict[str, int] = field(default_factory=dict)
+    torn_records_dropped: int = 0
+    tail_truncated: bool = False
+
+
+class WriteAheadLog:
+    """Group-committing WAL of one engine, living in the object store."""
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        metrics: Optional[MetricRegistry] = None,
+        prefix: str = "wal/",
+        crashpoints: Optional[CrashPointRegistry] = None,
+    ) -> None:
+        self._store = store
+        self._metrics = metrics or MetricRegistry()
+        self.prefix = prefix
+        self._crash = crashpoints or CrashPointRegistry()
+        self._lock = threading.RLock()
+        self._buffer: List[bytes] = []
+        self._buffer_last_lsn = 0
+        self._next_lsn = 1
+        self._next_chunk = 0
+        self._chunk_high_lsn: Dict[str, int] = {}
+        self._last_flushed_lsn = 0
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def last_flushed_lsn(self) -> int:
+        """Highest LSN durable in the store (the acknowledgment frontier)."""
+        with self._lock:
+            return self._last_flushed_lsn
+
+    @property
+    def last_assigned_lsn(self) -> int:
+        """Highest LSN handed out (flushed or still buffered)."""
+        with self._lock:
+            return self._next_lsn - 1
+
+    @property
+    def pending_records(self) -> int:
+        """Records buffered but not yet group-committed."""
+        with self._lock:
+            return len(self._buffer)
+
+    def chunk_key(self, seq: int) -> str:
+        """Object-store key of chunk ``seq``."""
+        return f"{self.prefix}chunk-{seq:010d}"
+
+    def adopt(self, state: WalReplayState, floor_lsn: int = 0) -> None:
+        """Continue an existing log after recovery."""
+        with self._lock:
+            self._next_lsn = max(state.next_lsn, floor_lsn + 1)
+            self._next_chunk = state.next_chunk
+            self._chunk_high_lsn = dict(state.chunk_high_lsn)
+            self._last_flushed_lsn = self._next_lsn - 1
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def append(self, kind: str, data: Dict[str, Any]) -> int:
+        """Buffer one record; returns its LSN.  Not yet durable."""
+        with self._lock:
+            self._crash.hit("wal.before_append")
+            lsn = self._next_lsn
+            self._next_lsn += 1
+            self._buffer.append(encode_frame(lsn, kind, data))
+            self._buffer_last_lsn = lsn
+            self._metrics.incr("durability.wal_appends")
+            self._crash.hit("wal.after_append")
+            return lsn
+
+    def flush(self) -> int:
+        """Group-commit buffered records as one chunk; returns bytes written.
+
+        The last frame of the chunk carries the group-commit flag, which
+        is what makes the statement atomic under torn-tail truncation.
+        Charges the simulated log-append plus fsync cost.
+        """
+        with self._lock:
+            if not self._buffer:
+                return 0
+            self._crash.hit("wal.before_flush")
+            # Re-stamp the final frame with the group-commit flag.
+            last = self._buffer[-1]
+            _, _, lsn, length, _ = _HEAD.unpack_from(last, 0)
+            payload = last[_HEAD.size :]
+            head = struct.pack("<2sBQI", _MAGIC, FLAG_GROUP_COMMIT, lsn, length)
+            crc = zlib.crc32(head + payload) & 0xFFFFFFFF
+            self._buffer[-1] = head + struct.pack("<I", crc) + payload
+            body = b"".join(self._buffer)
+            key = self.chunk_key(self._next_chunk)
+            cost = self._store.cost_model.wal_append(len(body))
+            cost += self._store.cost_model.wal_fsync()
+            self._store.put(key, body, cost_s=cost)
+            self._chunk_high_lsn[key] = self._buffer_last_lsn
+            self._last_flushed_lsn = self._buffer_last_lsn
+            self._next_chunk += 1
+            self._buffer.clear()
+            self._metrics.incr("durability.wal_bytes", len(body))
+            self._metrics.incr("durability.wal_flushes")
+            self._crash.hit("wal.after_flush")
+            return len(body)
+
+    def truncate_upto(self, lsn: int) -> int:
+        """Delete chunks wholly covered by a checkpoint at ``lsn``."""
+        with self._lock:
+            removed = 0
+            for key, high in sorted(self._chunk_high_lsn.items()):
+                if high <= lsn:
+                    if self._store.delete(key):
+                        removed += 1
+                    del self._chunk_high_lsn[key]
+            if removed:
+                self._metrics.incr("durability.wal_truncated_chunks", removed)
+            return removed
+
+
+def read_wal(
+    store: ObjectStore,
+    prefix: str = "wal/",
+    metrics: Optional[MetricRegistry] = None,
+    repair: bool = True,
+) -> WalReplayState:
+    """Read and validate the surviving WAL; repair a torn tail in place.
+
+    With ``repair`` (the default, what recovery wants) the last chunk is
+    truncated back to its final complete group commit — rewriting or
+    deleting the chunk object — so a second recovery sees a clean log.
+    """
+    metrics = metrics or MetricRegistry()
+    state = WalReplayState()
+    keys = store.list_keys(prefix)
+    for position, key in enumerate(keys):
+        body = store.get(key)
+        records, _, clean = decode_frames(body)
+        is_last = position == len(keys) - 1
+        dirty = not clean or (records and not records[-1].group_end)
+        if dirty:
+            if not is_last:
+                raise WALCorruptionError(
+                    f"WAL chunk {key!r} is corrupt before the log tail"
+                )
+            # Torn tail: keep only complete group commits.
+            keep = 0
+            for index, record in enumerate(records):
+                if record.group_end:
+                    keep = index + 1
+            dropped = len(records) - keep
+            state.torn_records_dropped += dropped
+            state.tail_truncated = True
+            metrics.incr("durability.wal_torn_records_dropped", dropped)
+            records = records[:keep]
+            if repair:
+                if not records:
+                    store.delete(key)
+                else:
+                    end = records[-1].end_offset  # type: ignore[attr-defined]
+                    store.put(key, body[:end])
+        state.records.extend(records)
+        if records:
+            state.chunk_high_lsn[key] = records[-1].lsn
+        seq = int(key.rsplit("-", 1)[1])
+        state.next_chunk = max(state.next_chunk, seq + 1)
+    if state.records:
+        state.next_lsn = state.records[-1].lsn + 1
+    return state

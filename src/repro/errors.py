@@ -60,6 +60,22 @@ class SegmentError(StorageError):
     """A segment is malformed or an operation violated immutability."""
 
 
+class DurabilityError(StorageError):
+    """Failures in the durability layer (WAL, checkpoints, recovery)."""
+
+
+class WALCorruptionError(DurabilityError):
+    """A WAL frame failed validation somewhere other than the torn tail.
+
+    A torn *final* record is expected after a crash and is truncated
+    silently; corruption in the middle of the log is not survivable.
+    """
+
+
+class RecoveryError(DurabilityError):
+    """Cold-boot recovery could not reconstruct a consistent engine."""
+
+
 class ManifestError(StorageError):
     """MVCC manifest failures: bad edits, commit protocol violations."""
 

@@ -91,6 +91,10 @@ class SegmentWriter:
         # Live index objects for segments built by this writer, so the
         # local warehouse can serve without an object-store round trip.
         self.built_indexes: Dict[str, VectorIndex] = {}
+        # Fired after each statistics refresh; the durability layer logs
+        # a WAL "stats" record here (histograms and learned centroids
+        # are not reconstructible from manifest replay alone).
+        self.on_stats_refresh: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -287,6 +291,8 @@ class SegmentWriter:
                 merged[name] = [v for part in parts for v in part]
         total = self._manager.total_rows()
         self._entry.statistics.refresh(merged, total)
+        if self.on_stats_refresh is not None:
+            self.on_stats_refresh()
 
 
 def _attach_refiner(vindex: VectorIndex, segment: Segment) -> None:

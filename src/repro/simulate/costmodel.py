@@ -44,6 +44,14 @@ class DeviceCostModel:
     rpc_round_trip_s: float = 5e-4
     rpc_bandwidth_bps: float = 1e9
 
+    # Durability tier: the write-ahead log appends to a log-optimized
+    # path of shared storage (cheaper per call than a full object PUT
+    # round trip) and pays an explicit fsync-style barrier per group
+    # commit before a write can be acknowledged.
+    wal_append_latency_s: float = 2e-3
+    wal_append_bandwidth_bps: float = 400e6
+    wal_fsync_s: float = 1e-3
+
     # Compute costs.
     distance_flop_s: float = 5e-10           # per dimension per vector pair
     adc_lookup_s: float = 2e-9               # per sub-quantizer table lookup
@@ -91,6 +99,16 @@ class DeviceCostModel:
         return self.transfer_time(
             nbytes, self.object_store_latency_s, self.object_store_bandwidth_bps
         )
+
+    def wal_append(self, nbytes: int) -> float:
+        """Cost of appending one group-commit chunk to the shared log."""
+        return self.transfer_time(
+            nbytes, self.wal_append_latency_s, self.wal_append_bandwidth_bps
+        )
+
+    def wal_fsync(self) -> float:
+        """Cost of the durability barrier closing one group commit."""
+        return self.wal_fsync_s
 
     def rpc_call(self, request_bytes: int, response_bytes: int) -> float:
         """Cost of one serving RPC: round trip plus payload transfer."""

@@ -8,12 +8,13 @@ clauses; hybrid queries simply add ``WHERE``; index creation reuses the
 ``CLUSTER BY <col> INTO <n> BUCKETS``.
 
 Grammar implemented here (statements): CREATE TABLE, DROP TABLE, INSERT,
-SELECT, UPDATE, DELETE, SET.
+SELECT, UPDATE, DELETE, SET, CHECKPOINT.
 """
 
 from repro.sqlparser.ast_nodes import (
     BinaryOp,
     Between,
+    Checkpoint,
     ColumnDef,
     ColumnRef,
     CreateTable,
@@ -39,6 +40,7 @@ from repro.sqlparser.expressions import evaluate_predicate
 __all__ = [
     "Between",
     "BinaryOp",
+    "Checkpoint",
     "ColumnDef",
     "ColumnRef",
     "CreateTable",

@@ -186,6 +186,11 @@ class SetStatement(Statement):
     value: Any
 
 
+@dataclass
+class Checkpoint(Statement):
+    """CHECKPOINT: force a durability checkpoint and WAL truncation."""
+
+
 # ----------------------------------------------------------------------
 # Queries
 # ----------------------------------------------------------------------

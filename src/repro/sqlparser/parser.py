@@ -13,6 +13,7 @@ from repro.errors import ParseError
 from repro.sqlparser.ast_nodes import (
     Between,
     BinaryOp,
+    Checkpoint,
     ColumnDef,
     ColumnRef,
     CreateTable,
@@ -126,6 +127,10 @@ class _Parser:
             return self._parse_delete()
         if token.is_keyword("SET"):
             return self._parse_set()
+        if token.is_keyword("CHECKPOINT"):
+            self.advance()
+            self._finish()
+            return Checkpoint()
         raise ParseError(
             f"unsupported statement starting with {token.value!r}",
             position=token.position,

@@ -74,6 +74,11 @@ class Compactor:
     metrics: MetricRegistry = field(default_factory=MetricRegistry)
     config: CompactionConfig = field(default_factory=CompactionConfig)
     retire_hooks: List[RetireHook] = field(default_factory=list)
+    # When set (by the durability manager), retired payloads are not
+    # deleted here but queued until a checkpoint no longer references
+    # them — the last checkpoint's manifest may still need the objects
+    # for cold-restart recovery.
+    defer_physical_delete: Optional[Callable[[Segment, Optional[str]], None]] = None
 
     def __post_init__(self) -> None:
         # Physical deletion is deferred to the MVCC layer: a compacted
@@ -94,6 +99,9 @@ class Compactor:
         for hook in self.retire_hooks:
             hook(segment.segment_id, index_key)
         if not self.config.delete_retired_objects:
+            return
+        if self.defer_physical_delete is not None:
+            self.defer_physical_delete(segment, index_key)
             return
         with self.clock.paused():
             for column in list(segment.scalar_column_names) + [

@@ -88,11 +88,16 @@ class LocalDisk:
         return key in self._entries
 
     def evict(self, key: str) -> bool:
-        """Explicitly drop ``key``; returns whether it was present."""
+        """Explicitly drop ``key``; returns whether it was present.
+
+        Counted separately from capacity evictions so cache-invalidation
+        churn (e.g. retired segments) is visible in metrics.
+        """
         payload = self._entries.pop(key, None)
         if payload is None:
             return False
         self._used -= len(payload)
+        self._metrics.incr("localdisk.evictions_explicit")
         return True
 
     def clear(self) -> None:

@@ -88,6 +88,10 @@ class SegmentManager:
         live manifest referencing a segment expires."""
         self.store.on_retire(hook)
 
+    def on_publish(self, hook) -> None:
+        """Register ``(previous, published)`` manifest-commit callback."""
+        self.store.on_publish(hook)
+
     # ------------------------------------------------------------------
     # Commit / drop
     # ------------------------------------------------------------------

@@ -321,6 +321,7 @@ class ManifestStore:
         self._strong: set = set()  # manifest ids holding segment refs
         self._segment_refs: Dict[str, int] = {}
         self._retire_hooks: List[RetireCallback] = []
+        self._publish_hooks: List[Callable[[Manifest, Manifest], None]] = []
         self._next_id = 1
         root = Manifest(0, table, {}, ())
         self._manifests[0] = root
@@ -353,6 +354,19 @@ class ManifestStore:
         """Register a callback fired with ``(segment, index_key)`` once a
         segment leaves its last live manifest (safe to delete payloads)."""
         self._retire_hooks.append(hook)
+
+    def on_publish(self, hook: Callable[[Manifest, Manifest], None]) -> None:
+        """Register ``(previous, published)`` callback fired inside every
+        :meth:`publish`, under the store lock — callbacks therefore
+        observe commits in ``manifest_id`` order.  The durability layer
+        uses this to turn manifest swaps into WAL records."""
+        self._publish_hooks.append(hook)
+
+    @property
+    def next_id(self) -> int:
+        """The id the next published manifest will receive."""
+        with self._lock:
+            return self._next_id
 
     # ------------------------------------------------------------------
     # Commit
@@ -390,7 +404,49 @@ class ManifestStore:
                 victim = self._retained.pop(0)
                 if self._pins.get(victim, 0) == 0:
                     self._manifests.pop(victim, None)
+            for hook in self._publish_hooks:
+                hook(previous, manifest)
         return manifest
+
+    def restore(self, manifest: Manifest, next_id: int) -> None:
+        """Install a recovered manifest as current (recovery only).
+
+        Preserves ``manifest_id`` monotonicity across a cold restart:
+        the restored manifest keeps the id it was checkpointed under and
+        subsequent commits continue from ``next_id``, so ``AS OF`` and
+        plan-cache keys stay comparable with the pre-crash history.
+        Publish hooks do NOT fire — a restore replays state that is
+        already durable.
+
+        Raises
+        ------
+        ManifestError
+            If the store has published anything (restore targets a
+            pristine store only).
+        """
+        with self._lock:
+            if self.current.manifest_id != 0 or len(self._manifests) != 1:
+                raise ManifestError("restore requires a pristine manifest store")
+            if next_id <= manifest.manifest_id:
+                raise ManifestError(
+                    f"next_id {next_id} must exceed restored manifest id "
+                    f"{manifest.manifest_id}"
+                )
+            self._next_id = next_id
+            if manifest.manifest_id == 0:
+                # An empty table checkpointed before any commit: the
+                # pristine root already is that manifest.
+                return
+            self._manifests[manifest.manifest_id] = manifest
+            self._retained.append(manifest.manifest_id)
+            self._strong.add(manifest.manifest_id)
+            for sid in manifest.segment_ids():
+                self._segment_refs[sid] = self._segment_refs.get(sid, 0) + 1
+            previous = self.current
+            self.current = manifest
+            self.metrics.gauge("mvcc.manifest_id", manifest.manifest_id)
+            if self._pins.get(previous.manifest_id, 0) == 0:
+                self._demote(previous.manifest_id)
 
     # ------------------------------------------------------------------
     # Pins

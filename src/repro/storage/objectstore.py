@@ -52,11 +52,24 @@ class ObjectStore:
         """The cost model in effect."""
         return self._cost
 
-    def put(self, key: str, payload: bytes) -> float:
-        """Store ``payload`` under ``key``; returns the simulated write cost."""
+    def rebind_metrics(self, metrics: MetricRegistry) -> None:
+        """Point the store's counters at another registry.
+
+        A recovered engine reuses the surviving store but owns a fresh
+        registry; rebinding keeps post-recovery I/O visible there.
+        """
+        self._metrics = metrics
+
+    def put(self, key: str, payload: bytes, cost_s: Optional[float] = None) -> float:
+        """Store ``payload`` under ``key``; returns the simulated write cost.
+
+        ``cost_s`` overrides the charged cost for callers on a
+        non-default write path (the WAL's log-optimized appends charge
+        append + fsync instead of a full PUT round trip).
+        """
         if not key:
             raise ValueError("object key must be non-empty")
-        cost = self._cost.object_store_write(len(payload))
+        cost = cost_s if cost_s is not None else self._cost.object_store_write(len(payload))
         self._clock.advance(cost)
         self._blobs[key] = bytes(payload)
         self._metrics.incr("objectstore.put")
@@ -105,10 +118,16 @@ class ObjectStore:
         return key in self._blobs
 
     def delete(self, key: str) -> bool:
-        """Remove ``key``; returns whether it existed.  Charged one latency."""
+        """Remove ``key``; returns whether it existed.  Charged one latency.
+
+        Only actual deletions bump the ``objectstore.delete`` counter —
+        WAL truncation audits its chunk cleanup through it.
+        """
         self._clock.advance(self._cost.object_store_latency_s)
-        self._metrics.incr("objectstore.delete")
-        return self._blobs.pop(key, None) is not None
+        existed = self._blobs.pop(key, None) is not None
+        if existed:
+            self._metrics.incr("objectstore.delete")
+        return existed
 
     def size_of(self, key: str) -> int:
         """Stored size in bytes of ``key`` without charging a read."""

@@ -154,9 +154,35 @@ def create_index(spec: IndexSpec) -> VectorIndex:
     return cls(spec.dim, spec.metric, **kwargs)
 
 
+def _canonical_payload(value: Any) -> Any:
+    """Normalize a payload tree so serialization is byte-stable.
+
+    Arrays are rewritten as fresh C-contiguous copies carrying the
+    canonical dtype singleton: unpickled arrays come back as
+    buffer-backed views with per-stream dtype instances, which perturbs
+    pickle memoization and would make save(load(save(x))) != save(x).
+    """
+    import numpy as np
+
+    if isinstance(value, np.ndarray):
+        if value.dtype.fields is not None:
+            return np.ascontiguousarray(value)
+        return value.astype(np.dtype(value.dtype.str), order="C", copy=True)
+    if isinstance(value, dict):
+        return {key: _canonical_payload(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return type(value)(_canonical_payload(item) for item in value)
+    return value
+
+
 def serialize_index(index: VectorIndex) -> bytes:
-    """Persistable bytes for any registered index (SaveIndex)."""
-    return pickle.dumps(index.to_payload(), protocol=pickle.HIGHEST_PROTOCOL)
+    """Persistable bytes for any registered index (SaveIndex).
+
+    Byte-stable: the same logical index serializes to the same bytes,
+    including after a load round trip.
+    """
+    payload = _canonical_payload(index.to_payload())
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
 
 
 def deserialize_index(payload: bytes) -> VectorIndex:

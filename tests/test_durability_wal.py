@@ -1,0 +1,189 @@
+"""WAL unit tests: frame codec, group commit, torn-tail repair, costs."""
+
+import pytest
+
+from repro.durability.wal import (
+    FLAG_GROUP_COMMIT,
+    WriteAheadLog,
+    decode_frames,
+    encode_frame,
+    read_wal,
+)
+from repro.errors import WALCorruptionError
+
+
+class TestFrameCodec:
+    def test_round_trip(self):
+        body = encode_frame(7, "commit", {"table": "t", "manifest_id": 3})
+        records, valid, clean = decode_frames(body)
+        assert clean and valid == len(body)
+        assert len(records) == 1
+        record = records[0]
+        assert record.lsn == 7
+        assert record.kind == "commit"
+        assert record.data == {"table": "t", "manifest_id": 3}
+        assert not record.group_end
+
+    def test_group_commit_flag(self):
+        body = encode_frame(1, "create", {"table": "t"}, flags=FLAG_GROUP_COMMIT)
+        records, _, clean = decode_frames(body)
+        assert clean and records[0].group_end
+
+    def test_multiple_frames(self):
+        body = b"".join(
+            encode_frame(lsn, "commit", {"n": lsn}) for lsn in (1, 2, 3)
+        )
+        records, valid, clean = decode_frames(body)
+        assert clean and valid == len(body)
+        assert [r.lsn for r in records] == [1, 2, 3]
+
+    def test_torn_tail_detected(self):
+        good = encode_frame(1, "commit", {"n": 1}, flags=FLAG_GROUP_COMMIT)
+        torn = encode_frame(2, "commit", {"n": 2})[:-5]
+        records, valid, clean = decode_frames(good + torn)
+        assert not clean
+        assert [r.lsn for r in records] == [1]
+        assert valid == len(good)
+
+    def test_crc_corruption_detected(self):
+        body = bytearray(encode_frame(1, "commit", {"n": 1}))
+        body[-1] ^= 0xFF  # flip a payload byte: CRC must fail
+        records, _, clean = decode_frames(bytes(body))
+        assert not clean and records == []
+
+    def test_bad_magic_detected(self):
+        body = bytearray(encode_frame(1, "commit", {"n": 1}))
+        body[0] = 0
+        records, _, clean = decode_frames(bytes(body))
+        assert not clean and records == []
+
+
+class TestWriteAheadLog:
+    def test_append_assigns_monotone_lsns(self, store, metrics):
+        wal = WriteAheadLog(store, metrics=metrics)
+        assert wal.append("create", {"table": "t"}) == 1
+        assert wal.append("commit", {"n": 2}) == 2
+        assert wal.pending_records == 2
+        assert wal.last_flushed_lsn == 0
+        assert wal.last_assigned_lsn == 2
+
+    def test_flush_writes_one_chunk_per_group(self, store, metrics):
+        wal = WriteAheadLog(store, metrics=metrics)
+        wal.append("create", {"table": "t"})
+        wal.append("commit", {"n": 2})
+        nbytes = wal.flush()
+        assert nbytes > 0
+        assert wal.pending_records == 0
+        assert wal.last_flushed_lsn == 2
+        keys = store.list_keys("wal/")
+        assert keys == [wal.chunk_key(0)]
+        records, _, clean = decode_frames(store.get(keys[0]))
+        assert clean
+        # Only the final frame of the group carries the commit flag.
+        assert [r.group_end for r in records] == [False, True]
+
+    def test_flush_empty_buffer_is_noop(self, store, metrics):
+        wal = WriteAheadLog(store, metrics=metrics)
+        assert wal.flush() == 0
+        assert store.list_keys("wal/") == []
+
+    def test_flush_charges_log_cost_not_store_write(self, store, clock, cost, metrics):
+        wal = WriteAheadLog(store, metrics=metrics)
+        wal.append("commit", {"payload": b"x" * 1000})
+        before = clock.now
+        nbytes = wal.flush()
+        elapsed = clock.elapsed_since(before)
+        expected = cost.wal_append(nbytes) + cost.wal_fsync()
+        assert elapsed == pytest.approx(expected)
+        # The log path must be cheaper than a cold object-store PUT.
+        assert elapsed < cost.object_store_write(nbytes)
+
+    def test_metrics(self, store, metrics):
+        wal = WriteAheadLog(store, metrics=metrics)
+        wal.append("commit", {"n": 1})
+        wal.append("commit", {"n": 2})
+        nbytes = wal.flush()
+        assert metrics.count("durability.wal_appends") == 2
+        assert metrics.count("durability.wal_bytes") == nbytes
+        assert metrics.count("durability.wal_flushes") == 1
+
+    def test_truncate_upto(self, store, metrics):
+        wal = WriteAheadLog(store, metrics=metrics)
+        for n in range(4):
+            wal.append("commit", {"n": n})
+            wal.flush()
+        assert len(store.list_keys("wal/")) == 4
+        removed = wal.truncate_upto(2)
+        assert removed == 2
+        assert store.list_keys("wal/") == [wal.chunk_key(2), wal.chunk_key(3)]
+        # Idempotent: nothing left at or below lsn 2.
+        assert wal.truncate_upto(2) == 0
+
+
+class TestReadWal:
+    def _populated(self, store, metrics, groups=3):
+        wal = WriteAheadLog(store, metrics=metrics)
+        for n in range(groups):
+            wal.append("commit", {"n": 2 * n})
+            wal.append("commit", {"n": 2 * n + 1})
+            wal.flush()
+        return wal
+
+    def test_clean_log(self, store, metrics):
+        wal = self._populated(store, metrics)
+        state = read_wal(store, metrics=metrics)
+        assert len(state.records) == 6
+        assert state.next_lsn == 7
+        assert state.next_chunk == 3
+        assert not state.tail_truncated
+        assert state.chunk_high_lsn[wal.chunk_key(2)] == 6
+
+    def test_torn_tail_truncated_to_group_boundary(self, store, metrics):
+        wal = self._populated(store, metrics, groups=2)
+        # Simulate a crash mid-upload: the final chunk holds one complete
+        # group plus a torn frame of the next.
+        tail = (
+            encode_frame(5, "commit", {"n": 5}, flags=FLAG_GROUP_COMMIT)
+            + encode_frame(6, "commit", {"n": 6})[:-3]
+        )
+        store.put(wal.chunk_key(2), tail)
+        state = read_wal(store, metrics=metrics)
+        assert state.tail_truncated
+        assert state.torn_records_dropped == 0  # the torn frame never parsed
+        assert [r.lsn for r in state.records] == [1, 2, 3, 4, 5]
+        # Repair rewrote the chunk: a second pass sees a clean log.
+        again = read_wal(store, metrics=metrics)
+        assert not again.tail_truncated
+        assert [r.lsn for r in again.records] == [1, 2, 3, 4, 5]
+
+    def test_incomplete_group_dropped_whole(self, store, metrics):
+        wal = self._populated(store, metrics, groups=1)
+        # A complete frame without its group-commit end: the statement
+        # never acknowledged, so its valid prefix must not replay.
+        orphan = encode_frame(3, "commit", {"n": 3})
+        store.put(wal.chunk_key(1), orphan)
+        state = read_wal(store, metrics=metrics)
+        assert state.tail_truncated
+        assert state.torn_records_dropped == 1
+        assert [r.lsn for r in state.records] == [1, 2]
+        # The all-torn chunk was deleted outright.
+        assert store.list_keys("wal/") == [wal.chunk_key(0)]
+
+    def test_mid_log_corruption_raises(self, store, metrics):
+        wal = self._populated(store, metrics, groups=3)
+        body = bytearray(store.get(wal.chunk_key(1)))
+        body[-1] ^= 0xFF
+        store.put(wal.chunk_key(1), bytes(body))
+        with pytest.raises(WALCorruptionError):
+            read_wal(store, metrics=metrics)
+
+    def test_adopt_continues_sequences(self, store, metrics):
+        self._populated(store, metrics, groups=2)
+        state = read_wal(store, metrics=metrics)
+        wal = WriteAheadLog(store, metrics=metrics)
+        wal.adopt(state, floor_lsn=0)
+        assert wal.last_assigned_lsn == 4
+        lsn = wal.append("commit", {"n": 5})
+        assert lsn == 5
+        wal.flush()
+        assert store.list_keys("wal/")[-1] == wal.chunk_key(2)
