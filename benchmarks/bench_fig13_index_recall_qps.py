@@ -14,6 +14,7 @@ from benchmarks.common import (
     load_blendhouse,
     measure_blendhouse,
     record,
+    write_bench_json,
 )
 from repro.workloads.vectorbench import SweepPoint, make_hybrid_workload
 
@@ -54,6 +55,15 @@ def test_fig13_index_type_curves(benchmark, curves):
     ))
     record(benchmark, "curves", {
         label: [(p.recall, p.qps) for p in points] for label, points in curves.items()
+    })
+    # Artifact for the CI kernel-regression gate (see
+    # benchmarks/check_kernel_regression.py): per-point recall + QPS.
+    write_bench_json("fig13_index_recall_qps", {
+        label: [
+            {"params": p.params, "recall": p.recall, "qps": p.qps}
+            for p in points
+        ]
+        for label, points in curves.items()
     })
 
     best_recall = {label: max(p.recall for p in points) for label, points in curves.items()}

@@ -1,0 +1,113 @@
+"""Capture the exact Fig 13 top-k results for kernel byte-identity checks.
+
+Runs the same sweep as ``bench_fig13_index_recall_qps.py`` and dumps, per
+(index, knob) point, the simulated QPS/recall plus every query's result
+rows with distances in ``float.hex()`` form, so two captures can be
+compared bit-for-bit.  Used to record the before/after state of a kernel
+pass (ISSUE 6 acceptance: top-k ids byte-identical across the pass):
+
+    PYTHONPATH=src:. python benchmarks/capture_kernel_state.py before
+    ... apply kernel changes ...
+    PYTHONPATH=src:. python benchmarks/capture_kernel_state.py after
+    PYTHONPATH=src:. python benchmarks/capture_kernel_state.py diff \
+        BENCH_fig13_kernels_before.json BENCH_fig13_kernels_after.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from benchmarks.common import load_blendhouse, run_workload_sql, write_bench_json
+from repro.workloads.datasets import make_cohere_like
+from repro.workloads.recall import recall_at_k
+from repro.workloads.vectorbench import make_hybrid_workload, qps_from_latencies
+
+SWEEPS = (
+    ("BH-HNSW", "HNSW", "M=8, ef_construction=64", "ef_search", [16, 32, 64, 128]),
+    ("BH-HNSWSQ", "HNSWSQ", "M=8, ef_construction=64", "ef_search", [16, 32, 64, 128]),
+    ("BH-IVFPQFS", "IVFPQFS", "m=8", "nprobe", [2, 4, 8, 16]),
+)
+
+
+def capture(tag: str) -> str:
+    dataset = make_cohere_like(n=3000, dim=32, n_queries=40)
+    workload = make_hybrid_workload(dataset, k=10)
+    out = {}
+    for label, index_type, options, knob, sweep in SWEEPS:
+        db = load_blendhouse(dataset, index_type=index_type, index_options=options)
+        db.execute(workload.sql(0))  # warmup: plan + column caches
+        points = []
+        for value in sweep:
+            db.execute(f"SET {knob} = {value}")
+            latencies = []
+            rows_per_query = []
+            for qi in range(len(workload.queries)):
+                start = db.clock.now
+                result = db.execute(workload.sql(qi))
+                latencies.append(db.clock.now - start)
+                rows_per_query.append(
+                    [[int(row[0]), float(row[1]).hex()] for row in result.rows]
+                )
+            ids = [[row[0] for row in rows] for rows in rows_per_query]
+            points.append(
+                {
+                    "knob": knob,
+                    "value": value,
+                    "qps": qps_from_latencies(latencies),
+                    "recall": recall_at_k(ids, workload.truth, workload.k),
+                    "topk": rows_per_query,
+                }
+            )
+        out[label] = points
+    path = write_bench_json(f"fig13_kernels_{tag}", out)
+    print(f"wrote {path}")
+    return path
+
+
+def diff(before_path: str, after_path: str) -> int:
+    with open(before_path) as handle:
+        before = json.load(handle)
+    with open(after_path) as handle:
+        after = json.load(handle)
+    id_mismatches = 0
+    dist_mismatches = 0
+    max_rel = 0.0
+    for label, points in before.items():
+        for point, other in zip(points, after[label]):
+            for qi, (rows_b, rows_a) in enumerate(zip(point["topk"], other["topk"])):
+                ids_b = [row[0] for row in rows_b]
+                ids_a = [row[0] for row in rows_a]
+                if ids_b != ids_a:
+                    id_mismatches += 1
+                    print(f"ID MISMATCH {label} {point['knob']}={point['value']} q{qi}:")
+                    print(f"  before {ids_b}\n  after  {ids_a}")
+                for row_b, row_a in zip(rows_b, rows_a):
+                    if row_b[1] != row_a[1]:
+                        dist_mismatches += 1
+                        db_, da_ = float.fromhex(row_b[1]), float.fromhex(row_a[1])
+                        if db_ > 0:
+                            max_rel = max(max_rel, abs(da_ - db_) / db_)
+            ratio = other["qps"] / max(point["qps"], 1e-12)
+            print(
+                f"{label:12s} {point['knob']}={point['value']:<4d} "
+                f"qps {point['qps']:9.1f} -> {other['qps']:9.1f} ({ratio:4.2f}x)  "
+                f"recall {point['recall']:.4f} -> {other['recall']:.4f}"
+            )
+    print(
+        f"\nid mismatches: {id_mismatches}; distance value diffs: {dist_mismatches} "
+        f"(max rel {max_rel:.3e})"
+    )
+    return 1 if id_mismatches else 0
+
+
+def main(argv: list) -> int:
+    if len(argv) >= 3 and argv[0] == "diff":
+        return diff(argv[1], argv[2])
+    tag = argv[0] if argv else "before"
+    capture(tag)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

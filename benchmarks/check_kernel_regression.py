@@ -1,0 +1,99 @@
+"""CI kernel-regression gate for the Fig 13 QPS curves.
+
+Compares a fresh ``BENCH_fig13_index_recall_qps.json`` (written by
+``bench_fig13_index_recall_qps.py``) against the committed baseline in
+``benchmarks/baselines/``, failing if any sweep point's QPS drops more
+than the threshold below baseline.  QPS here is *simulated* — derived
+from deterministic cost-model charges, not wall time — so run-to-run
+noise is zero and a tight gate is safe: a drop can only come from a code
+change that makes the engine do more charged work per query.
+
+Recall is also checked (absolute tolerance) so a "speedup" cannot be
+bought by silently degrading result quality.
+
+Usage::
+
+    python benchmarks/check_kernel_regression.py \
+        [--current BENCH_fig13_index_recall_qps.json] \
+        [--baseline benchmarks/baselines/BENCH_fig13_baseline.json] \
+        [--max-qps-drop 0.10] [--max-recall-drop 0.005]
+
+Exit status 0 when every point passes, 1 otherwise.  When kernels get
+*faster* on purpose, refresh the baseline by copying the new artifact
+over the committed one (CI uploads both).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+DEFAULT_CURRENT = "BENCH_fig13_index_recall_qps.json"
+DEFAULT_BASELINE = "benchmarks/baselines/BENCH_fig13_baseline.json"
+
+
+def _point_key(point: dict) -> str:
+    params = point.get("params", {})
+    return ",".join(f"{k}={v}" for k, v in sorted(params.items()))
+
+
+def check(
+    current_path: str,
+    baseline_path: str,
+    max_qps_drop: float,
+    max_recall_drop: float,
+) -> int:
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    with open(current_path) as handle:
+        current = json.load(handle)
+
+    failures = []
+    for label, base_points in baseline.items():
+        cur_points = {_point_key(p): p for p in current.get(label, [])}
+        for base in base_points:
+            key = _point_key(base)
+            cur = cur_points.get(key)
+            if cur is None:
+                failures.append(f"{label} {key}: point missing from current run")
+                continue
+            floor = base["qps"] * (1.0 - max_qps_drop)
+            status = "ok"
+            if cur["qps"] < floor:
+                failures.append(
+                    f"{label} {key}: QPS {cur['qps']:.1f} < floor {floor:.1f} "
+                    f"(baseline {base['qps']:.1f}, max drop {max_qps_drop:.0%})"
+                )
+                status = "QPS REGRESSION"
+            if cur["recall"] < base["recall"] - max_recall_drop:
+                failures.append(
+                    f"{label} {key}: recall {cur['recall']:.4f} < "
+                    f"baseline {base['recall']:.4f} - {max_recall_drop}"
+                )
+                status = "RECALL REGRESSION"
+            print(
+                f"{label:12s} {key:14s} qps {base['qps']:9.1f} -> {cur['qps']:9.1f}  "
+                f"recall {base['recall']:.4f} -> {cur['recall']:.4f}  [{status}]"
+            )
+    if failures:
+        print("\nkernel regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nkernel regression gate passed")
+    return 0
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", default=DEFAULT_CURRENT)
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--max-qps-drop", type=float, default=0.10)
+    parser.add_argument("--max-recall-drop", type=float, default=0.005)
+    args = parser.parse_args(argv)
+    return check(args.current, args.baseline, args.max_qps_drop, args.max_recall_drop)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

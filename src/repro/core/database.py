@@ -485,6 +485,27 @@ class BlendHouse:
             span.set_tag("strategy", plan.strategy.value)
             return plan
 
+    def _plan_rebindable(self, template: PhysicalPlan) -> bool:
+        """Whether a cached plan can skip re-optimization entirely.
+
+        True when the strategy is fully determined by the parameterized
+        query *shape* — pure vector (ANN_ONLY), pure scalar
+        (SCALAR_ONLY), or range — so fresh literals cannot change it.
+        CBO-costed plans re-choose (literal selectivity can flip the
+        strategy, the Fig 15 behaviour), and an active forced-strategy
+        override disables rebinding because SET changes do not fence the
+        cache.
+        """
+        if self.settings.forced_strategy:
+            return False
+        if template.cbo_used:
+            return False
+        return template.strategy in (
+            ExecutionStrategy.ANN_ONLY,
+            ExecutionStrategy.SCALAR_ONLY,
+            ExecutionStrategy.RANGE,
+        )
+
     def _plan_select_traced(
         self, sql: str, statement: Select, span: Span, version: int
     ) -> PhysicalPlan:
@@ -510,6 +531,26 @@ class BlendHouse:
             # every metric.
             index_spec = None
             self.metrics.incr("planner.metric_mismatch_fallbacks")
+        if cached is not None and self._plan_rebindable(cached):
+            # Rebind fast path: graft the fresh literals onto the cached
+            # template without re-running the optimizer.  Search params
+            # are recomputed from defaults + current SET overrides so a
+            # `SET ef_search` between hits is honoured without fencing.
+            plan = cached.rebound(logical)
+            params = dict(optimizer.default_search_params(index_spec))
+            params.update(self._search_param_overrides())
+            plan.search_params = params
+            plan.short_circuited = (
+                plan.strategy is ExecutionStrategy.ANN_ONLY
+                and self.settings.enable_short_circuit
+            )
+            plan.use_index = not (index_spec is None and schema.index_spec is not None)
+            span.set_tag("plan_cache", "rebind")
+            self.clock.advance(self.cost.plan_rebind_overhead_s)
+            self.metrics.incr("planner.rebinds")
+            self.metrics.incr("planner.cache_hits")
+            self.metrics.incr("plan_cache.hits")
+            return plan
         plan = optimizer.choose(
             logical,
             runtime.entry.statistics,

@@ -23,7 +23,12 @@ from repro.simulate.clock import SimulatedClock
 from repro.simulate.costmodel import DeviceCostModel
 from repro.simulate.metrics import MetricRegistry
 from repro.storage.segment import Segment
-from repro.vindex.api import SearchResult, pairwise_distance, top_k_from_distances
+from repro.vindex.api import (
+    SearchResult,
+    get_kernel_mode,
+    pairwise_distance,
+    top_k_from_distances,
+)
 from repro.vindex.iterator import SearchIterator
 
 
@@ -60,12 +65,26 @@ class ScanCharger:
         return self.index_type in ("IVFPQ", "IVFPQFS")
 
     def charge_visits(self, visited: int, with_bitmap: bool = False) -> None:
-        """Charge ``visited`` candidate inspections."""
+        """Charge ``visited`` candidate inspections.
+
+        The fast kernel mode charges the cheaper vectorized rates for the
+        kernels that actually changed: graph traversal (CSR gather +
+        contiguous distance blocks) and 4-bit fast-scan ADC.  Exact
+        scans, 8-bit ADC, and refinement keep the scalar rates, so the
+        planner's cost model stays consistent with execution.
+        """
         if visited <= 0:
             return
+        fast = get_kernel_mode() == "fast"
         if self._uses_codes():
-            # ADC over PQ codes: m table lookups per code (m=8 default).
-            self.clock.advance(self.cost.adc_cost(visited, 8))
+            if fast and self.index_type == "IVFPQFS":
+                # In-register table shuffles (cached LUT, batched build).
+                self.clock.advance(self.cost.adc_cost_fastscan(visited, 8))
+            else:
+                # ADC over PQ codes: m table lookups per code (m=8 default).
+                self.clock.advance(self.cost.adc_cost(visited, 8))
+        elif fast and self.index_type in ("HNSW", "HNSWSQ", "DISKANN"):
+            self.clock.advance(self.cost.distance_cost_vectorized(visited, self.dim))
         else:
             self.clock.advance(self.cost.distance_cost(visited, self.dim))
         if with_bitmap:
@@ -95,11 +114,13 @@ def brute_force_scan(
     the index-cache-miss fallback)."""
     if allowed is not None:
         offsets = np.flatnonzero(allowed)
+        vectors = segment.vectors_at(offsets)
     else:
         offsets = np.arange(segment.row_count, dtype=np.int64)
+        # Full scan: use the segment's read-only view, not a gather copy.
+        vectors = segment.vectors()
     if offsets.size == 0:
         return SearchResult.empty()
-    vectors = segment.vectors_at(offsets)
     distances = pairwise_distance(query, vectors, metric)
     charger.charge_brute_force(int(offsets.size))
     return top_k_from_distances(offsets, distances, k, visited=int(offsets.size))
@@ -144,11 +165,12 @@ def search_with_range_op(
         # Brute force range: exact distances, then threshold.
         if bitset is not None:
             offsets = np.flatnonzero(bitset)
+            vectors = segment.vectors_at(offsets)
         else:
             offsets = np.arange(segment.row_count, dtype=np.int64)
+            vectors = segment.vectors()
         if offsets.size == 0:
             return SearchResult.empty()
-        vectors = segment.vectors_at(offsets)
         distances = pairwise_distance(query, vectors, metric)
         charger.charge_brute_force(int(offsets.size))
         keep = np.flatnonzero(distances <= radius)
@@ -229,7 +251,7 @@ class _BruteForceIterator(SegmentIterator):
         else:
             offsets = np.arange(segment.row_count, dtype=np.int64)
         if offsets.size:
-            vectors = segment.vectors_at(offsets)
+            vectors = segment.vectors() if bitset is None else segment.vectors_at(offsets)
             distances = pairwise_distance(query, vectors, metric)
             charger.charge_brute_force(int(offsets.size))
             order = np.argsort(distances, kind="stable")

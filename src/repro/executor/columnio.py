@@ -20,7 +20,7 @@ holds them); only *costs* differ between configurations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.simulate.clock import SimulatedClock
 from repro.simulate.costmodel import DeviceCostModel
@@ -57,13 +57,23 @@ class ColumnReader:
         self._cache = SplitIndexCache(
             self.config.meta_cache_bytes, self.config.data_cache_bytes
         )
+        # Per-(segment, column) cell-size memo: segments are immutable,
+        # so the bytes-per-row ratio never changes for a given key and
+        # the decode hot path skips the dict lookup + division per fetch.
+        self._cell_bytes_memo: Dict[Tuple[str, str], float] = {}
 
     # ------------------------------------------------------------------
     # Cost accounting
     # ------------------------------------------------------------------
     def _cell_bytes(self, segment: Segment, column: str) -> float:
+        key = (segment.segment_id, column)
+        cached = self._cell_bytes_memo.get(key)
+        if cached is not None:
+            return cached
         nbytes = segment.meta.nbytes_by_column.get(column, 8 * segment.row_count)
-        return nbytes / max(1, segment.row_count)
+        value = nbytes / max(1, segment.row_count)
+        self._cell_bytes_memo[key] = value
+        return value
 
     def _charge_fetch(self, segment: Segment, column: str, n_rows: int) -> None:
         key = f"{segment.segment_id}/{column}"
@@ -126,3 +136,4 @@ class ColumnReader:
     def clear_cache(self) -> None:
         """Drop cached blocks (tests / between benchmark phases)."""
         self._cache.clear()
+        self._cell_bytes_memo.clear()

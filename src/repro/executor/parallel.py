@@ -265,6 +265,7 @@ def _batch_scan_segment(
     segment: Segment,
     bitmap: Optional[DeleteBitmap],
     ctx: ExecContext,
+    query_matrix: Optional[np.ndarray] = None,
 ) -> List[Tuple[int, PartialResult]]:
     """Scan one segment for every query in ``query_positions`` at once.
 
@@ -273,12 +274,19 @@ def _batch_scan_segment(
     go through the provider's ``search_batch`` (vectorized for FLAT and
     IVF, a per-query loop for graph indexes, which cannot batch their
     traversals).
+
+    ``query_matrix`` is the (total_nq, dim) stack built once by the
+    coordinator; each segment task gathers its rows from it instead of
+    re-stacking python lists per task.
     """
     representative = plans[query_positions[0]]
-    queries = np.stack([
-        plans[position].logical.distance.query_vector
-        for position in query_positions
-    ])
+    if query_matrix is not None:
+        queries = query_matrix[query_positions]
+    else:
+        queries = np.stack([
+            plans[position].logical.distance.query_vector
+            for position in query_positions
+        ])
     metric = representative.logical.distance.metric
     k = representative.logical.k or 10
     nq = len(query_positions)
@@ -338,7 +346,8 @@ def _batch_scan_segment(
             segment, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
         )
         return [(position, empty) for position in query_positions]
-    vectors = segment.vectors_at(offsets)
+    # Full scans use the segment's read-only view instead of a gather copy.
+    vectors = segment.vectors() if mask is None else segment.vectors_at(offsets)
     distances = pairwise_distance_batch(queries, vectors, metric)
     ctx.clock.advance(ctx.cost.distance_cost_batch(nq, int(offsets.size), segment.dim))
     ctx.metrics.incr("annscan.batch_brute_rows", int(offsets.size) * nq)
@@ -384,6 +393,10 @@ def execute_batch_on_segments(
     resolve_lock = threading.Lock()
     resolve = _locked_resolver(ctx, resolve_lock)
     task_metrics = [MetricRegistry() for _ in segment_order]
+    # One (nq, dim) stack for the whole batch; segment tasks slice it.
+    query_matrix = np.stack([
+        plan.logical.distance.query_vector for plan in plans
+    ])
 
     def make_task(task_index: int, segment: Segment):
         def run() -> List[Tuple[int, PartialResult]]:
@@ -400,6 +413,7 @@ def execute_batch_on_segments(
             return _batch_scan_segment(
                 plans, positions_by_segment[segment.segment_id], segment,
                 bitmaps.get(segment.segment_id), task_ctx,
+                query_matrix=query_matrix,
             )
         return run
 

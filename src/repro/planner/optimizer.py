@@ -128,7 +128,13 @@ class Optimizer:
         self.params = params
         self.config = config or OptimizerConfig()
 
-    def _default_search_params(self, index_spec: Optional[IndexSpec]) -> Dict[str, Any]:
+    def default_search_params(self, index_spec: Optional[IndexSpec]) -> Dict[str, Any]:
+        """Per-index-type search-parameter defaults.
+
+        Public because the plan-cache rebind fast path recomputes params
+        fresh (defaults + current SET overrides) instead of trusting the
+        cached template's possibly-stale values.
+        """
         if index_spec is None:
             return {}
         if index_spec.index_type in ("HNSW", "HNSWSQ"):
@@ -138,6 +144,9 @@ class Optimizer:
         if index_spec.index_type in ("IVFFLAT", "IVFPQ", "IVFPQFS"):
             return {"nprobe": self.config.default_nprobe}
         return {}
+
+    # Backwards-compatible alias (pre-public name).
+    _default_search_params = default_search_params
 
     def choose(
         self,

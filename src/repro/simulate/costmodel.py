@@ -54,12 +54,27 @@ class DeviceCostModel:
 
     # Compute costs.
     distance_flop_s: float = 5e-10           # per dimension per vector pair
+    # Vectorized candidate expansion (batched neighbor gather feeding one
+    # contiguous SIMD distance block) runs a few-fold cheaper per flop
+    # than the branch-heavy scalar traversal rate above, though short of
+    # dense-GEMM throughput (kmeans_iter_flop_s) because gathers are
+    # scattered and blocks are small.
+    vector_flop_s: float = 2e-10             # per dim per vector, gathered block
     adc_lookup_s: float = 2e-9               # per sub-quantizer table lookup
+    # 4-bit fast-scan ADC keeps all 16 codewords of a sub-quantizer table
+    # in one SIMD register and scans codes with register shuffles instead
+    # of memory-indexed lookups — the faiss PQx4fs design the IVFPQFS
+    # index models.
+    adc_fastscan_lookup_s: float = 5e-10     # per sub-quantizer, fast-scan kernel
     bitmap_test_s: float = 4e-9              # per bitset membership test
     hash_s: float = 1e-7                     # one hash evaluation
     row_decode_s: float = 2e-8               # decode one scalar cell
     plan_overhead_s: float = 2e-3            # full parse+optimize of a query
-    plan_cached_overhead_s: float = 1e-4     # cached-plan parameter binding
+    plan_cached_overhead_s: float = 1e-4     # cached-plan adaptation + re-costing
+    # Template rebind: a cache hit whose strategy is shape-determined
+    # (no CBO re-costing needed) only grafts the fresh literals onto the
+    # cached rule-rewritten template — no binder->rules->optimizer pass.
+    plan_rebind_overhead_s: float = 2e-5     # literal graft onto a cached template
     # k-means assignment is dense GEMM running near peak throughput,
     # roughly an order of magnitude cheaper per flop than branch-heavy
     # graph traversal.
@@ -134,9 +149,17 @@ class DeviceCostModel:
             / max(1.0, self.batch_gemm_speedup)
         )
 
+    def distance_cost_vectorized(self, n_vectors: int, dim: int) -> float:
+        """Cost of distances over a gathered candidate block (fast kernels)."""
+        return n_vectors * dim * self.vector_flop_s
+
     def adc_cost(self, n_codes: int, n_subquantizers: int) -> float:
         """Cost of asymmetric distance computation over PQ codes."""
         return n_codes * n_subquantizers * self.adc_lookup_s
+
+    def adc_cost_fastscan(self, n_codes: int, n_subquantizers: int) -> float:
+        """Cost of 4-bit fast-scan ADC (in-register table shuffles)."""
+        return n_codes * n_subquantizers * self.adc_fastscan_lookup_s
 
     def bitmap_cost(self, n_tests: int) -> float:
         """Cost of ``n_tests`` bitset membership checks during bitmap ANN scan."""

@@ -15,14 +15,109 @@ algorithm.
 from __future__ import annotations
 
 import abc
+import contextlib
+import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 import numpy as np
 
 from repro.errors import IndexNotTrainedError, IndexParameterError
 
 SUPPORTED_METRICS = ("l2", "ip", "cosine")
+
+# ----------------------------------------------------------------------
+# Kernel mode
+# ----------------------------------------------------------------------
+# "fast" selects the vectorized hot-path kernels (batched neighbor
+# gather, cached ADC tables, bitmask visited sets); "reference" selects
+# the original per-node loops.  Both modes share the same arithmetic and
+# the same result-boundary contract, so their top-k output is
+# byte-identical — the kernel-equivalence test suite asserts exactly
+# that.  The switch exists for that suite and for bisecting kernel
+# regressions, not for production tuning.
+KERNEL_MODES = ("fast", "reference")
+_kernel_mode = os.environ.get("REPRO_KERNEL_MODE", "fast")
+if _kernel_mode not in KERNEL_MODES:  # pragma: no cover - env misuse
+    _kernel_mode = "fast"
+
+
+def get_kernel_mode() -> str:
+    """The active distance-kernel implementation ("fast" or "reference")."""
+    return _kernel_mode
+
+
+def set_kernel_mode(mode: str) -> None:
+    """Select the kernel implementation; see :data:`KERNEL_MODES`."""
+    global _kernel_mode
+    if mode not in KERNEL_MODES:
+        raise IndexParameterError(f"unknown kernel mode {mode!r}; expected {KERNEL_MODES}")
+    _kernel_mode = mode
+
+
+@contextlib.contextmanager
+def kernel_mode(mode: str) -> Iterator[None]:
+    """Temporarily switch kernel mode (equivalence tests)."""
+    previous = get_kernel_mode()
+    set_kernel_mode(mode)
+    try:
+        yield
+    finally:
+        set_kernel_mode(previous)
+
+
+# ----------------------------------------------------------------------
+# Distance kernel primitives (DESIGN.md §9)
+# ----------------------------------------------------------------------
+def squared_norms(vectors: np.ndarray) -> np.ndarray:
+    """Per-row squared L2 norms in float32 (precomputed-norms contract)."""
+    vectors = np.asarray(vectors, dtype=np.float32)
+    return np.einsum("ij,ij->i", vectors, vectors)
+
+
+def l2sq_via_norms(
+    query: np.ndarray,
+    rows: np.ndarray,
+    row_norms: np.ndarray,
+    query_norm: float,
+) -> np.ndarray:
+    """Squared L2 via ``||x||² + ||q||² − 2·x·q`` with one ``np.dot``.
+
+    Float32 throughout.  The cancellation in the subtraction costs a few
+    ulps versus the subtract-then-reduce form, so this kernel is reserved
+    for uses where comparison order need not be bit-stable against the
+    canonical kernel — build-time candidate scoring and pairwise
+    dominance matrices.  Traversal comparisons and anything feeding the
+    result boundary use the subtract form (see DESIGN.md §9).
+    """
+    return row_norms - np.float32(2.0) * (rows @ query) + np.float32(query_norm)
+
+
+def l2sq_pairwise_via_norms(rows: np.ndarray) -> np.ndarray:
+    """All-pairs squared L2 of ``rows`` via the norms identity (one GEMM).
+
+    The O(n²) build-time kernel behind HNSW heuristic selection and
+    Vamana robust pruning.
+    """
+    rows = np.asarray(rows, dtype=np.float32)
+    norms = squared_norms(rows)
+    return norms[:, None] - 2.0 * (rows @ rows.T) + norms[None, :]
+
+
+def boundary_distances(internal: np.ndarray, metric: str) -> np.ndarray:
+    """Convert internal comparison distances to result-boundary distances.
+
+    The pinned dtype contract: kernels compute in float32 — including
+    the final sqrt for ``l2``, whose internal form is squared L2 — and
+    results become float64 only inside :class:`SearchResult`.  This is
+    the same arithmetic chain as :func:`pairwise_distance`, so every
+    index reports bit-identical distances for identical rows regardless
+    of its internal kernel.
+    """
+    if metric == "l2":
+        internal = np.asarray(internal, dtype=np.float32)
+        return np.sqrt(np.maximum(internal, np.float32(0.0)))
+    return np.asarray(internal, dtype=np.float64)
 
 
 def pairwise_distance(query: np.ndarray, vectors: np.ndarray, metric: str = "l2") -> np.ndarray:

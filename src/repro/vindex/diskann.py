@@ -20,7 +20,14 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.errors import IndexParameterError
-from repro.vindex.api import SearchResult, VectorIndex, pairwise_distance
+from repro.vindex.api import (
+    SearchResult,
+    VectorIndex,
+    boundary_distances,
+    get_kernel_mode,
+    l2sq_pairwise_via_norms,
+    pairwise_distance,
+)
 
 DEFAULT_R = 24            # max out-degree
 DEFAULT_BUILD_BEAM = 48   # L during construction
@@ -67,6 +74,13 @@ class DiskANNIndex(VectorIndex):
         self._graph: List[List[int]] = []
         self._medoid = -1
         self._io_charger: Optional[Callable[[int], None]] = None
+        # CSR adjacency for the fast search kernel; rebuilt lazily after
+        # each (re)build.  During construction the graph mutates per
+        # node, so search falls back to the list-of-lists walk.
+        self._csr_indptr: Optional[np.ndarray] = None
+        self._csr_indices: Optional[np.ndarray] = None
+        self._csr_dirty = True
+        self._building = False
 
     @property
     def ntotal(self) -> int:
@@ -81,10 +95,30 @@ class DiskANNIndex(VectorIndex):
         return pairwise_distance(query, sub, self.metric)
 
     def _to_external(self, internal: np.ndarray) -> np.ndarray:
-        """Convert internal comparison distances to API distances."""
-        if self.metric == "l2":
-            return np.sqrt(np.maximum(internal, 0.0))
-        return np.asarray(internal, dtype=np.float64)
+        """Convert internal comparison distances to API distances.
+
+        Boundary contract (DESIGN.md §9): the sqrt runs in float32 like
+        every other kernel; float64 appears only inside SearchResult.
+        """
+        return boundary_distances(np.asarray(internal, dtype=np.float32), self.metric)
+
+    def _graph_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Adjacency as (indptr, indices), rebuilt after graph rebuilds."""
+        if self._csr_dirty or self._csr_indptr is None:
+            n = len(self._graph)
+            counts = np.fromiter(
+                (len(neighbors) for neighbors in self._graph), dtype=np.int64, count=n
+            )
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            indices = np.fromiter(
+                (v for neighbors in self._graph for v in neighbors),
+                dtype=np.int64, count=int(indptr[-1]),
+            )
+            self._csr_indices = indices
+            self._csr_indptr = indptr
+            self._csr_dirty = False
+        return self._csr_indptr, self._csr_indices
 
     def set_io_charger(self, charger: Optional[Callable[[int], None]]) -> None:
         """Install a callable charged ``nbytes`` per simulated disk read."""
@@ -118,6 +152,7 @@ class DiskANNIndex(VectorIndex):
         n = self.ntotal
         if n == 0:
             return
+        self._building = True
         rng = np.random.default_rng(self.seed)
         # Medoid: the point nearest the dataset mean.
         mean = self._vectors.mean(axis=0)
@@ -149,6 +184,8 @@ class DiskANNIndex(VectorIndex):
                         self._graph[neighbor] = self._robust_prune(
                             neighbor, list(zip(dists.tolist(), back))
                         )
+        self._building = False
+        self._csr_dirty = True
 
     def _robust_prune(self, node: int, candidates: List[Tuple[float, int]]) -> List[int]:
         """Vamana's alpha-relaxed pruning: drop candidates dominated by an
@@ -164,8 +201,7 @@ class DiskANNIndex(VectorIndex):
         to_node = np.array([d for d, _ in pool])
         sub = self._vectors[nodes]
         if self.metric == "l2":
-            norms = np.einsum("ij,ij->i", sub, sub)
-            pairwise = norms[:, None] - 2.0 * (sub @ sub.T) + norms[None, :]
+            pairwise = l2sq_pairwise_via_norms(sub)
             alpha = self.alpha ** 2  # internal distances are squared
         else:
             pairwise = np.stack(
@@ -196,7 +232,14 @@ class DiskANNIndex(VectorIndex):
     def _greedy_search(
         self, query: np.ndarray, beam: int, charge: bool = True
     ) -> List[Tuple[float, int]]:
-        """Beam search from the medoid; returns visited (distance, node)."""
+        """Beam search from the medoid; returns visited (distance, node).
+
+        Dispatches to the CSR/bitmask kernel when the fast mode is
+        active and the graph is frozen; construction-time calls (graph
+        still mutating per node) always take the list walk.
+        """
+        if get_kernel_mode() == "fast" and not self._building:
+            return self._greedy_search_fast(query, beam, charge)
         start = self._medoid
         visited: Set[int] = {start}
         if charge:
@@ -218,6 +261,47 @@ class DiskANNIndex(VectorIndex):
                 self._charge_node_read(len(fresh))
             dists = self._dist_internal(query, fresh)
             for neighbor_dist, neighbor in zip(dists.tolist(), fresh):
+                if len(results) < beam or neighbor_dist < -results[0][0]:
+                    heapq.heappush(frontier, (neighbor_dist, neighbor))
+                    heapq.heappush(results, (-neighbor_dist, neighbor))
+                    if len(results) > beam:
+                        heapq.heappop(results)
+        merged = {node: dist for dist, node in settled}
+        for negdist, node in results:
+            merged.setdefault(node, -negdist)
+        return sorted((dist, node) for node, dist in merged.items())
+
+    def _greedy_search_fast(
+        self, query: np.ndarray, beam: int, charge: bool = True
+    ) -> List[Tuple[float, int]]:
+        """Vectorized beam search: identical traversal to the reference
+        walk (same arithmetic, heap discipline, neighbor order) with CSR
+        neighbor gather and a boolean visited mask replacing per-node
+        python loops, so results are byte-identical."""
+        indptr, indices = self._graph_csr()
+        start = self._medoid
+        visited = np.zeros(self.ntotal, dtype=bool)
+        visited[start] = True
+        if charge:
+            self._charge_node_read()
+        start_dist = float(self._dist_internal(query, [start])[0])
+        frontier: List[Tuple[float, int]] = [(start_dist, start)]
+        results: List[Tuple[float, int]] = [(-start_dist, start)]
+        settled: List[Tuple[float, int]] = []
+        while frontier:
+            dist, node = heapq.heappop(frontier)
+            if len(results) >= beam and dist > -results[0][0]:
+                break
+            settled.append((dist, node))
+            neighbors = indices[indptr[node]:indptr[node + 1]]
+            fresh = neighbors[~visited[neighbors]]
+            if fresh.size == 0:
+                continue
+            visited[fresh] = True
+            if charge:
+                self._charge_node_read(int(fresh.size))
+            dists = self._dist_internal(query, fresh)
+            for neighbor_dist, neighbor in zip(dists.tolist(), fresh.tolist()):
                 if len(results) < beam or neighbor_dist < -results[0][0]:
                     heapq.heappush(frontier, (neighbor_dist, neighbor))
                     heapq.heappush(results, (-neighbor_dist, neighbor))
@@ -253,7 +337,7 @@ class DiskANNIndex(VectorIndex):
             pool = visited
         top = pool[:k]
         ids = np.array([self._ids[node] for _, node in top], dtype=np.int64)
-        distances = self._to_external(np.array([dist for dist, _ in top], dtype=np.float64))
+        distances = self._to_external(np.array([dist for dist, _ in top], dtype=np.float32))
         return SearchResult(ids, distances, visited=len(visited))
 
     # ------------------------------------------------------------------

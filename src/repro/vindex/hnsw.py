@@ -26,7 +26,14 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.errors import IndexParameterError
-from repro.vindex.api import SearchResult, VectorIndex, pairwise_distance
+from repro.vindex.api import (
+    SearchResult,
+    VectorIndex,
+    boundary_distances,
+    get_kernel_mode,
+    l2sq_pairwise_via_norms,
+    pairwise_distance,
+)
 from repro.vindex.iterator import SearchIterator
 
 DEFAULT_M = 16
@@ -74,6 +81,12 @@ class HNSWIndex(VectorIndex):
         self._links: List[List[List[int]]] = []
         self._entry_point = -1
         self._max_level = -1
+        # Layer-0 adjacency in CSR form for the fast search kernel:
+        # rebuilt lazily after mutations, so immutable segments pay the
+        # flatten once and every query gathers neighbors with one slice.
+        self._csr_indptr: Optional[np.ndarray] = None
+        self._csr_indices: Optional[np.ndarray] = None
+        self._csr_dirty = True
 
     # ------------------------------------------------------------------
     # Basic state
@@ -86,21 +99,52 @@ class HNSWIndex(VectorIndex):
         """Vectors used for distance computation (hook for SQ subclass)."""
         return self._vectors
 
-    def _distance(self, query: np.ndarray, nodes: List[int]) -> np.ndarray:
+    def _gather_rows(self, nodes: np.ndarray) -> np.ndarray:
+        """Float32 rows for ``nodes`` (hook: the SQ subclass decodes its
+        uint8 codes on the gather instead of keeping a float mirror hot)."""
+        return self._vector_store()[nodes]
+
+    def _distance(self, query: np.ndarray, nodes: Any) -> np.ndarray:
         """Internal *comparison* distance: squared L2 (monotone in true L2)
-        to avoid per-call sqrt; other metrics use their native form."""
-        store = self._vector_store()
+        to avoid per-call sqrt; other metrics use their native form.
+
+        The subtract-then-reduce form is deliberate: it is the same
+        arithmetic as :func:`pairwise_distance`, which keeps traversal
+        comparison order bit-stable against the canonical kernel (the
+        norms identity would differ by cancellation ulps; DESIGN.md §9).
+        """
+        rows = self._gather_rows(np.asarray(nodes, dtype=np.int64))
         if self.metric == "l2":
-            sub = store[nodes]
-            diff = sub - query
+            diff = rows - query
             return np.einsum("ij,ij->i", diff, diff)
-        return pairwise_distance(query, store[nodes], self.metric)
+        return pairwise_distance(query, rows, self.metric)
 
     def _to_external(self, internal: np.ndarray) -> np.ndarray:
-        """Convert internal comparison distances to API distances."""
-        if self.metric == "l2":
-            return np.sqrt(np.maximum(internal, 0.0))
-        return np.asarray(internal, dtype=np.float64)
+        """Internal comparison distances → result-boundary distances.
+
+        Boundary contract (DESIGN.md §9): the sqrt runs in float32, like
+        every other kernel; float64 appears only inside SearchResult.
+        """
+        return boundary_distances(np.asarray(internal, dtype=np.float32), self.metric)
+
+    def _layer0_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Layer-0 adjacency as (indptr, indices), rebuilt after mutation."""
+        if self._csr_dirty or self._csr_indptr is None:
+            n = len(self._links)
+            counts = np.fromiter(
+                ((len(links[0]) if links else 0) for links in self._links),
+                dtype=np.int64, count=n,
+            )
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            indices = np.fromiter(
+                (neighbor for links in self._links for neighbor in (links[0] if links else ())),
+                dtype=np.int64, count=int(indptr[-1]),
+            )
+            self._csr_indices = indices
+            self._csr_indptr = indptr
+            self._csr_dirty = False
+        return self._csr_indptr, self._csr_indices
 
     def _random_level(self) -> int:
         uniform = float(self._rng.random())
@@ -122,6 +166,7 @@ class HNSWIndex(VectorIndex):
         self._ids = np.concatenate([self._ids, ids])
         for offset in range(vectors.shape[0]):
             self._insert(start + offset)
+        self._csr_dirty = True
 
     def _insert(self, node: int) -> None:
         level = self._random_level()
@@ -180,9 +225,7 @@ class HNSWIndex(VectorIndex):
         store = self._vector_store()
         sub = store[nodes]
         if self.metric == "l2":
-            norms = np.einsum("ij,ij->i", sub, sub)
-            cross = sub @ sub.T
-            pairwise = norms[:, None] - 2.0 * cross + norms[None, :]
+            pairwise = l2sq_pairwise_via_norms(sub)
         else:
             pairwise = np.stack(
                 [pairwise_distance(sub[i], sub, self.metric) for i in range(len(nodes))]
@@ -272,6 +315,59 @@ class HNSWIndex(VectorIndex):
                     worst = -results[0][0]
         return sorted((-negdist, node) for negdist, node in results)
 
+    def _search_layer0_fast(
+        self, query: np.ndarray, entry: int, ef: int
+    ) -> Tuple[List[Tuple[float, int]], int]:
+        """Vectorized layer-0 beam search (the query hot path).
+
+        Same traversal as :meth:`_search_layer` — identical arithmetic,
+        heap discipline, and neighbor order, so the output is
+        byte-identical — but candidate expansion runs on the CSR
+        adjacency with a boolean visited mask: one slice gathers a
+        node's neighbors, one mask lookup filters the already-visited,
+        and one contiguous block feeds the distance kernel, replacing
+        the per-neighbor python set probes of the reference kernel.
+
+        Returns (ascending (distance, node) list, visited count).
+        """
+        indptr, indices = self._layer0_csr()
+        visited = np.zeros(self.ntotal, dtype=bool)
+        visited[entry] = True
+        visited_count = 1
+        dist = float(self._distance(query, [entry])[0])
+        candidates: List[Tuple[float, int]] = [(dist, entry)]
+        results: List[Tuple[float, int]] = [(-dist, entry)]
+        while candidates:
+            dist, node = heapq.heappop(candidates)
+            if dist > -results[0][0] and len(results) >= ef:
+                break
+            neighbors = indices[indptr[node]:indptr[node + 1]]
+            fresh = neighbors[~visited[neighbors]]
+            if fresh.size == 0:
+                continue
+            visited[fresh] = True
+            visited_count += int(fresh.size)
+            dists = self._distance(query, fresh)
+            worst = -results[0][0]
+            for neighbor_dist, neighbor in zip(dists.tolist(), fresh.tolist()):
+                if len(results) < ef or neighbor_dist < worst:
+                    heapq.heappush(candidates, (neighbor_dist, neighbor))
+                    heapq.heappush(results, (-neighbor_dist, neighbor))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+                    worst = -results[0][0]
+        return sorted((-negdist, node) for negdist, node in results), visited_count
+
+    def _query_layer0(
+        self, query: np.ndarray, entry: int, ef: int
+    ) -> Tuple[List[Tuple[float, int]], int]:
+        """Layer-0 search through the active kernel mode."""
+        if get_kernel_mode() == "fast":
+            return self._search_layer0_fast(query, entry, ef)
+        visited: Set[int] = set()
+        candidates = self._search_layer(query, [entry], 0, ef, visited=visited)
+        return candidates, len(visited)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -291,24 +387,22 @@ class HNSWIndex(VectorIndex):
         current = self._entry_point
         for layer in range(self._max_level, 0, -1):
             current = self._greedy_closest(query, current, layer)
-        visited: Set[int] = set()
-        candidates = self._search_layer(query, [current], 0, ef, visited=visited)
+        candidates, visited_count = self._query_layer0(query, current, ef)
         if bitset is not None:
             # Filtered collection: traversal saw `candidates`; keep only
             # allowed rows, widening the beam if too few survive.
             allowed = [(d, n) for d, n in candidates if bitset[self._ids[n]]]
             while len(allowed) < k and ef < self.ntotal:
                 ef = min(ef * 2, self.ntotal)
-                visited = set()
-                candidates = self._search_layer(query, [current], 0, ef, visited=visited)
+                candidates, visited_count = self._query_layer0(query, current, ef)
                 allowed = [(d, n) for d, n in candidates if bitset[self._ids[n]]]
                 if ef >= self.ntotal:
                     break
             candidates = allowed
         top = candidates[:k]
         ids = np.array([self._ids[node] for _, node in top], dtype=np.int64)
-        distances = self._to_external(np.array([dist for dist, _ in top], dtype=np.float64))
-        return SearchResult(ids, distances, visited=len(visited) or len(candidates))
+        distances = self._to_external(np.array([dist for dist, _ in top], dtype=np.float32))
+        return SearchResult(ids, distances, visited=visited_count or len(candidates))
 
     def search_iterator(
         self,
@@ -390,7 +484,13 @@ class HNSWSearchIterator(SearchIterator):
         self._bitset = bitset
         self._batch_size = batch_size
         self._ef = ef
+        # Kernel mode is pinned at construction so one iterator never
+        # mixes bookkeeping structures mid-stream.
+        self._fast = get_kernel_mode() == "fast"
         self._visited: Set[int] = set()
+        self._visited_mask: Optional[np.ndarray] = None
+        if self._fast and index.ntotal:
+            self._visited_mask = np.zeros(index.ntotal, dtype=bool)
         self._candidates: List[Tuple[float, int]] = []  # frontier min-heap
         self._pool: List[Tuple[float, int]] = []        # settled, not yet emitted
         self._graph_exhausted = index.ntotal == 0 or index._entry_point < 0
@@ -400,7 +500,10 @@ class HNSWSearchIterator(SearchIterator):
             for layer in range(index._max_level, 0, -1):
                 current = index._greedy_closest(query, current, layer)
             dist = float(index._distance(query, [current])[0])
-            self._visited.add(current)
+            if self._visited_mask is not None:
+                self._visited_mask[current] = True
+            else:
+                self._visited.add(current)
             self.visited_total += 1
             heapq.heappush(self._candidates, (dist, current))
 
@@ -415,14 +518,25 @@ class HNSWSearchIterator(SearchIterator):
         external = int(index._ids[node])
         if self._bitset is None or self._bitset[external]:
             heapq.heappush(self._pool, (dist, node))
-        links = index._links[node][0] if index._links[node] else []
-        fresh = [n for n in links if n not in self._visited]
-        if fresh:
-            self._visited.update(fresh)
-            self.visited_total += len(fresh)
-            dists = index._distance(self._query, fresh)
-            for neighbor_dist, neighbor in zip(dists.tolist(), fresh):
-                heapq.heappush(self._candidates, (neighbor_dist, neighbor))
+        if self._visited_mask is not None:
+            indptr, indices = index._layer0_csr()
+            neighbors = indices[indptr[node]:indptr[node + 1]]
+            fresh_arr = neighbors[~self._visited_mask[neighbors]]
+            if fresh_arr.size:
+                self._visited_mask[fresh_arr] = True
+                self.visited_total += int(fresh_arr.size)
+                dists = index._distance(self._query, fresh_arr)
+                for neighbor_dist, neighbor in zip(dists.tolist(), fresh_arr.tolist()):
+                    heapq.heappush(self._candidates, (neighbor_dist, neighbor))
+        else:
+            links = index._links[node][0] if index._links[node] else []
+            fresh = [n for n in links if n not in self._visited]
+            if fresh:
+                self._visited.update(fresh)
+                self.visited_total += len(fresh)
+                dists = index._distance(self._query, fresh)
+                for neighbor_dist, neighbor in zip(dists.tolist(), fresh):
+                    heapq.heappush(self._candidates, (neighbor_dist, neighbor))
         if not self._candidates:
             self._graph_exhausted = True
 
@@ -456,6 +570,6 @@ class HNSWSearchIterator(SearchIterator):
             out_dists.append(dist)
         return SearchResult(
             np.asarray(out_ids, dtype=np.int64),
-            index._to_external(np.asarray(out_dists, dtype=np.float64)),
+            index._to_external(np.asarray(out_dists, dtype=np.float32)),
             visited=self.visited_total,
         )

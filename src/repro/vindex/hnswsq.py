@@ -7,9 +7,15 @@ versus full-precision HNSW is real — the trade the paper's Table VI /
 Fig 13 exercise (≈4× smaller index, slightly lower recall ceiling).
 
 Substrate note: real SQ kernels compute distances directly on uint8; the
-numpy substrate keeps a transient float32 decode for vectorized distance
-calls, but :meth:`memory_bytes` reports the quantized footprint, which is
-what Table VI measures.
+numpy substrate models the SQ8 *asymmetric* kernel by decoding codes on
+the gather (:meth:`HNSWSQIndex._gather_rows`) — the float32 query is
+compared against rows reconstructed from uint8 at the moment they enter
+the distance block, exactly like an asymmetric distance computation that
+dequantizes in registers.  The affine decode ``code * scale + min`` is
+elementwise, so decode-on-gather is bitwise identical to searching a
+precomputed float mirror; the mirror kept by the parent class serves
+graph construction and persistence only.  :meth:`memory_bytes` reports
+the quantized footprint, which is what Table VI measures.
 """
 
 from __future__ import annotations
@@ -70,6 +76,17 @@ class HNSWSQIndex(HNSWIndex):
     def _decode(self, codes: np.ndarray) -> np.ndarray:
         assert self._vmin is not None and self._vscale is not None
         return codes.astype(np.float32) * self._vscale + self._vmin
+
+    def _gather_rows(self, nodes: np.ndarray) -> np.ndarray:
+        """SQ8 asymmetric kernel: decode uint8 codes on the gather.
+
+        Bitwise identical to gathering from the decoded float mirror
+        (the affine decode is elementwise), but models the real kernel
+        shape — quantized storage, dequantize-in-registers compare.
+        """
+        if self._codes.shape[0] == self._vectors.shape[0] and self._codes.shape[0]:
+            return self._decode(self._codes[nodes])
+        return self._vector_store()[nodes]
 
     # ------------------------------------------------------------------
     # Overrides

@@ -17,12 +17,21 @@ index.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
 from repro.errors import IndexNotTrainedError, IndexParameterError
-from repro.vindex.api import SearchResult, VectorIndex, pairwise_distance, top_k_from_distances
+from repro.vindex.api import (
+    SearchResult,
+    VectorIndex,
+    boundary_distances,
+    get_kernel_mode,
+    pairwise_distance,
+    top_k_from_distances,
+)
 from repro.vindex.kmeans import assign_to_centroids, kmeans
 from repro.vindex.pq import ProductQuantizer
 
@@ -73,6 +82,16 @@ class IVFPQIndex(VectorIndex):
         self._cell_ids: List[np.ndarray] = []
         self._ntotal = 0
         self._refiner: Optional[Refiner] = None
+        # Per-(query, codebook) ADC table cache (DESIGN.md §9): tables
+        # depend only on the query, the coarse centroids, and the PQ
+        # codebooks, so one query's tables are reused across restart
+        # iterators, range-search doubling, and adaptive re-execution.
+        # Lifetime is the index instance — a manifest swap builds new
+        # index objects, which naturally invalidates the cache — and
+        # train() clears it explicitly.
+        self._lut_cache: "OrderedDict[bytes, Dict[int, np.ndarray]]" = OrderedDict()
+        self._lut_lock = threading.Lock()
+        self._lut_cache_max = 8
 
     @property
     def ntotal(self) -> int:
@@ -102,7 +121,35 @@ class IVFPQIndex(VectorIndex):
             np.empty((0, self.m), dtype=np.uint8) for _ in range(self.nlist)
         ]
         self._cell_ids = [np.empty(0, dtype=np.int64) for _ in range(self.nlist)]
+        with self._lut_lock:
+            self._lut_cache.clear()
         self.stats.train_points = int(vectors.shape[0])
+
+    def _tables_for(self, query: np.ndarray, probe: np.ndarray) -> Dict[int, np.ndarray]:
+        """ADC tables for the probed cells, cached per (query, codebook).
+
+        Missing cells are computed in one batched einsum over all their
+        residuals (bitwise identical to per-cell :meth:`adc_table`
+        calls) instead of one table build per cell per query.
+        """
+        assert self._centroids is not None
+        key = query.tobytes()
+        with self._lut_lock:
+            entry = self._lut_cache.get(key)
+            if entry is None:
+                entry = {}
+                self._lut_cache[key] = entry
+                while len(self._lut_cache) > self._lut_cache_max:
+                    self._lut_cache.popitem(last=False)
+            else:
+                self._lut_cache.move_to_end(key)
+        missing = [int(cell) for cell in probe if int(cell) not in entry]
+        if missing:
+            residuals = query[None, :] - self._centroids[missing]
+            tables = self._pq.adc_tables(residuals)
+            for cell, table in zip(missing, tables):
+                entry[cell] = table
+        return entry
 
     def add_with_ids(self, vectors: np.ndarray, ids: np.ndarray) -> None:
         if not self.is_trained:
@@ -144,9 +191,13 @@ class IVFPQIndex(VectorIndex):
         nprobe = max(1, min(int(nprobe), self.nlist))
         centroid_dist = pairwise_distance(query, self._centroids, "l2")
         probe = np.argsort(centroid_dist, kind="stable")[:nprobe]
+        fast = get_kernel_mode() == "fast"
+        tables = self._tables_for(query, probe) if fast else None
 
-        gathered_ids: List[np.ndarray] = []
-        gathered_dist: List[np.ndarray] = []
+        # Collect surviving (cell, ids, codes) first so the fast path can
+        # size its output buffers once; empty or fully-filtered probe
+        # lists fall through to the documented empty SearchResult.
+        cell_rows: List[Any] = []
         visited = 0
         for cell in probe:
             ids = self._cell_ids[cell]
@@ -160,19 +211,44 @@ class IVFPQIndex(VectorIndex):
                     continue
                 ids = ids[allowed]
                 codes = codes[allowed]
-            # Residual encoding: the ADC table is built from the residual
-            # of the query against this cell's centroid.
-            table = self._pq.adc_table(query - self._centroids[cell])
-            gathered_ids.append(ids)
-            gathered_dist.append(self._pq.adc_distances(table, codes))
-        if not gathered_ids:
+            cell_rows.append((int(cell), ids, codes))
+        if not cell_rows:
             return SearchResult.empty(visited=visited)
-        all_ids = np.concatenate(gathered_ids)
-        all_dist = np.concatenate(gathered_dist).astype(np.float64)
 
+        if fast:
+            assert tables is not None
+            # Allocation-free hot loop: two output buffers sized once,
+            # filled by slice — no per-cell list churn, no final
+            # concatenate + astype copies.
+            total = sum(ids.size for _, ids, _ in cell_rows)
+            all_ids = np.empty(total, dtype=np.int64)
+            all_dist = np.empty(total, dtype=np.float32)
+            pos = 0
+            for cell, ids, codes in cell_rows:
+                nxt = pos + ids.size
+                all_ids[pos:nxt] = ids
+                all_dist[pos:nxt] = self._pq.adc_distances(tables[cell], codes)
+                pos = nxt
+        else:
+            gathered_ids: List[np.ndarray] = []
+            gathered_dist: List[np.ndarray] = []
+            for cell, ids, codes in cell_rows:
+                # Residual encoding: the ADC table is built from the
+                # residual of the query against this cell's centroid.
+                table = self._pq.adc_table(query - self._centroids[cell])
+                gathered_ids.append(ids)
+                gathered_dist.append(self._pq.adc_distances(table, codes))
+            all_ids = np.concatenate(gathered_ids)
+            all_dist = np.concatenate(gathered_dist)
+
+        # Selection runs on float32 squared distances (same order as the
+        # old float64 upcast — the cast was injective); sqrt happens once
+        # at the result boundary, in float32 (DESIGN.md §9).
         if self._refiner is None:
-            result = top_k_from_distances(all_ids, np.sqrt(all_dist), k, visited=visited)
-            return result
+            sel = top_k_from_distances(all_ids, all_dist, k, visited=visited)
+            return SearchResult(
+                sel.ids, boundary_distances(sel.distances, self.metric), visited=visited
+            )
         # Refine: exact re-rank of the σ·k best ADC candidates.
         fetch = min(max(k * max(1, int(refine_factor)), k), all_ids.shape[0])
         coarse = top_k_from_distances(all_ids, all_dist, fetch, visited=visited)

@@ -89,10 +89,17 @@ class ProductQuantizer:
         vectors = np.ascontiguousarray(vectors, dtype=np.float32)
         if vectors.ndim != 2 or vectors.shape[1] != self.dim:
             raise IndexParameterError(f"expected (*, {self.dim}) vectors")
+        if self._codebooks.shape[1] > 256:
+            # uint8 codes silently wrap past 255; fail loudly instead.
+            raise IndexParameterError(
+                f"codebook has {self._codebooks.shape[1]} centroids per sub-space; "
+                "uint8 PQ codes address at most 256"
+            )
         codes = np.empty((vectors.shape[0], self.m), dtype=np.uint8)
         for sub in range(self.m):
             block = vectors[:, sub * self.dsub : (sub + 1) * self.dsub]
-            codes[:, sub] = assign_to_centroids(block, self._codebooks[sub]).astype(np.uint8)
+            assignment = assign_to_centroids(block, self._codebooks[sub])
+            codes[:, sub] = assignment.astype(np.uint8)
         return codes
 
     def decode(self, codes: np.ndarray) -> np.ndarray:
@@ -120,6 +127,23 @@ class ProductQuantizer:
             diff = self._codebooks[sub] - block
             table[sub] = np.einsum("ij,ij->i", diff, diff)
         return table
+
+    def adc_tables(self, residuals: np.ndarray) -> np.ndarray:
+        """``(c, m, ksub)`` ADC tables for ``c`` query residuals at once.
+
+        One einsum over all residuals replaces ``c`` calls to
+        :meth:`adc_table`; each ``tables[i]`` is bitwise identical to
+        ``adc_table(residuals[i])`` because the reduction runs over the
+        same contiguous sub-space axis element by element.
+        """
+        if not self._trained:
+            raise IndexNotTrainedError("train() the quantizer before adc_tables()")
+        residuals = np.ascontiguousarray(residuals, dtype=np.float32)
+        if residuals.ndim != 2 or residuals.shape[1] != self.dim:
+            raise IndexParameterError(f"expected (*, {self.dim}) residuals")
+        blocks = residuals.reshape(residuals.shape[0], self.m, 1, self.dsub)
+        diff = self._codebooks[None, :, :, :] - blocks
+        return np.einsum("cmkd,cmkd->cmk", diff, diff)
 
     def adc_distances(self, table: np.ndarray, codes: np.ndarray) -> np.ndarray:
         """Approximate squared L2 distances for ``codes`` via table lookups."""
