@@ -1,0 +1,267 @@
+"""Serving-tier tail latency under closed- and open-loop load.
+
+Drives the asyncio serving front-end against the production image-search
+trace (``make_production_like``) on a virtual-time event loop, the
+"millions of users" axis of the paper's cloud-native claims:
+
+* **Closed loop** — a fixed worker population issues queries back to
+  back; measures pipeline latency at a known concurrency.
+* **Open loop** — Poisson arrivals at a configured rate, independent of
+  completions; queues build toward saturation and the p99/p999 tail
+  plus admission rejections tell the real serving story.
+
+Every latency is virtual/simulated seconds on seeded RNGs, so the
+numbers are bit-identical run to run and CI can gate p99 tightly
+(``check_serving_regression.py`` vs ``baselines/serving.json``).
+
+Artifacts: ``BENCH_serving_closed.json`` and ``BENCH_serving_open.json``.
+
+CLI flags (also runnable standalone, without pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py \
+        [--mode closed|open|both]   # default both
+        [--queries N]               # total queries per mode
+        [--concurrency N]           # closed-loop worker population
+        [--rate QPS]                # open-loop Poisson arrival rate
+        [--batch-fraction F]        # share of queries on the batch lane
+        [--tenants N]               # distinct tenants in the mix
+        [--max-inflight N]          # admission: execution slots
+        [--queue-depth N]           # admission: wait-queue bound
+        [--timeout S]               # per-query deadline (open loop)
+        [--seed N]
+
+``BENCH_SMOKE=1`` shrinks the dataset and query counts for CI;
+``SERVING_SLOWDOWN=<mult>`` derates every stage (fault injection for
+the regression gate — 2 must make the p99 check fail).
+"""
+
+import argparse
+import os
+import sys
+
+import pytest
+
+if __package__ in (None, ""):  # standalone CLI: python benchmarks/bench_serving.py
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import (
+    BENCH_COST,
+    fmt_table,
+    record,
+    smoke_scaled,
+    write_bench_json,
+)
+from repro.core.database import BlendHouse
+from repro.serving import (
+    ServingConfig,
+    ServingFrontend,
+    run_closed_loop,
+    run_open_loop,
+    run_virtual,
+)
+from repro.workloads.datasets import make_production_like
+
+N = smoke_scaled(8000, 1500)
+DIM = smoke_scaled(48, 16)
+N_QUERIES = smoke_scaled(100, 20)
+SEGMENT_ROWS = smoke_scaled(1500, 500)
+TOTAL_QUERIES = smoke_scaled(400, 120)
+# More workers than slots + queue (8 + 16), so closed-loop admission
+# control visibly engages.
+CLOSED_CONCURRENCY = smoke_scaled(64, 32)
+# Past capacity on purpose: the open loop must exhibit queueing and
+# admission rejections, not just echo the closed-loop numbers (closed
+# capacity measures ~23k qps full scale / ~13k smoke).
+OPEN_RATE_QPS = smoke_scaled(28000.0, 16000.0)
+MAX_INFLIGHT = 8
+QUEUE_DEPTH = 16
+BATCH_FRACTION = 0.25
+TENANTS = ("tenant-a", "tenant-b", "tenant-c")
+SLOWDOWN = float(os.environ.get("SERVING_SLOWDOWN", "1") or "1")
+
+
+def vector_sql(vector):
+    return "[" + ",".join(f"{float(x):.6f}" for x in vector) + "]"
+
+
+def build_workload(seed=3):
+    """(engine, sqls): the production trace loaded and its query mix.
+
+    The mix alternates pure top-k searches with multi-predicate hybrid
+    queries (category + score filter), the trace shape of Table VII.
+    """
+    dataset = make_production_like(n=N, dim=DIM, n_queries=N_QUERIES, seed=seed)
+    db = BlendHouse(cost_model=BENCH_COST)
+    db.execute(
+        f"CREATE TABLE prod (id UInt64, category String, day Int64, "
+        f"score Float64, embedding Array(Float32), "
+        f"INDEX ann embedding TYPE HNSW('DIM={dataset.dim}'))"
+    )
+    db.table("prod").writer.config.max_segment_rows = SEGMENT_ROWS
+    db.insert_columns(
+        "prod",
+        {name: dataset.scalars[name]
+         for name in ("id", "category", "day", "score")},
+        dataset.vectors,
+    )
+    categories = sorted(set(dataset.scalars["category"]))
+    sqls = []
+    for qi, query in enumerate(dataset.queries):
+        if qi % 2 == 0:
+            sqls.append(
+                f"SELECT id, dist FROM prod ORDER BY "
+                f"L2Distance(embedding, {vector_sql(query)}) AS dist LIMIT 10"
+            )
+        else:
+            category = categories[qi % len(categories)]
+            sqls.append(
+                f"SELECT id FROM prod WHERE category = '{category}' "
+                f"AND score >= 0.3 ORDER BY "
+                f"L2Distance(embedding, {vector_sql(query)}) LIMIT 10"
+            )
+    return db, sqls
+
+
+def serve(mode, queries=TOTAL_QUERIES, concurrency=CLOSED_CONCURRENCY,
+          rate=OPEN_RATE_QPS, batch_fraction=BATCH_FRACTION,
+          tenants=TENANTS, max_inflight=MAX_INFLIGHT,
+          queue_depth=QUEUE_DEPTH, timeout_s=None, seed=11):
+    """One load run on a fresh engine; returns the LoadReport."""
+    db, sqls = build_workload()
+    frontend = ServingFrontend(db, ServingConfig(
+        max_inflight=max_inflight,
+        max_queue_depth=queue_depth,
+        time_scale=SLOWDOWN,
+    ))
+    if mode == "closed":
+        report = run_virtual(run_closed_loop(
+            frontend, sqls, concurrency=concurrency, total_queries=queries,
+            batch_fraction=batch_fraction, tenants=tenants,
+            timeout_s=timeout_s, seed=seed,
+        ))
+    else:
+        report = run_virtual(run_open_loop(
+            frontend, sqls, arrival_rate_qps=rate, total_queries=queries,
+            batch_fraction=batch_fraction, tenants=tenants,
+            timeout_s=timeout_s, seed=seed,
+        ))
+    pinned = db.table("prod").manager.store.pinned_count
+    assert pinned == 0, f"{pinned} snapshot pins leaked by serving run"
+    return report
+
+
+def _latency_rows(report):
+    rows = []
+    for label, dist in sorted(report.latency.items()):
+        rows.append([
+            label, dist["count"], dist["p50"] * 1e3, dist["p99"] * 1e3,
+            dist["p999"] * 1e3, dist["max"] * 1e3,
+        ])
+    return rows
+
+
+def _print_report(title, report):
+    print(fmt_table(
+        title,
+        ["lane", "count", "p50 (ms)", "p99 (ms)", "p999 (ms)", "max (ms)"],
+        _latency_rows(report),
+    ))
+    print(
+        f"offered {report.offered}  completed {report.completed}  "
+        f"rejected_admission {report.rejected_admission}  "
+        f"rejected_quota {report.rejected_quota}  "
+        f"timeouts {report.timeouts}  errors {report.errors}  "
+        f"qps {report.qps:.1f}"
+    )
+
+
+@pytest.fixture(scope="module")
+def closed_report():
+    return serve("closed")
+
+
+@pytest.fixture(scope="module")
+def open_report():
+    return serve("open")
+
+
+def test_serving_closed_loop(benchmark, closed_report):
+    report = closed_report
+    _print_report(
+        f"Serving closed loop: {CLOSED_CONCURRENCY} workers, "
+        f"{MAX_INFLIGHT} slots (virtual seconds)",
+        report,
+    )
+    payload = report.as_dict()
+    record(benchmark, "closed", payload)
+    write_bench_json("serving_closed", payload)
+
+    # Every offered query terminates with some reply.
+    assert report.completed + report.rejected_admission + report.timeouts + \
+        report.errors == report.offered
+    assert report.completed > 0 and report.errors == 0
+    # With 3x more workers than slots + queue, admission control engages.
+    assert report.rejected_admission > 0
+    overall = report.latency["overall"]
+    assert overall["p50"] <= overall["p99"] <= overall["p999"]
+    # Closed-loop queue wait is bounded by the worker population, so the
+    # queue-depth series must never exceed the configured bound.
+    assert report.queue_depth is None or report.queue_depth["max"] <= QUEUE_DEPTH
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_serving_open_loop(benchmark, open_report):
+    report = open_report
+    _print_report(
+        f"Serving open loop: {OPEN_RATE_QPS:.0f} qps Poisson arrivals, "
+        f"{MAX_INFLIGHT} slots (virtual seconds)",
+        report,
+    )
+    payload = report.as_dict()
+    record(benchmark, "open", payload)
+    write_bench_json("serving_open", payload)
+
+    assert report.completed + report.rejected_admission + report.timeouts + \
+        report.errors == report.offered
+    assert report.completed > 0 and report.errors == 0
+    # The first tail poll precedes any completion: None, per the
+    # LatencyRecorder empty-window contract the load generator relies on.
+    assert report.tail_samples and report.tail_samples[0] is None
+    overall = report.latency["overall"]
+    assert overall["p50"] <= overall["p99"] <= overall["p999"]
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mode", choices=("closed", "open", "both"),
+                        default="both")
+    parser.add_argument("--queries", type=int, default=TOTAL_QUERIES)
+    parser.add_argument("--concurrency", type=int, default=CLOSED_CONCURRENCY)
+    parser.add_argument("--rate", type=float, default=OPEN_RATE_QPS)
+    parser.add_argument("--batch-fraction", type=float, default=BATCH_FRACTION)
+    parser.add_argument("--tenants", type=int, default=len(TENANTS))
+    parser.add_argument("--max-inflight", type=int, default=MAX_INFLIGHT)
+    parser.add_argument("--queue-depth", type=int, default=QUEUE_DEPTH)
+    parser.add_argument("--timeout", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args(argv)
+    tenants = tuple(f"tenant-{i}" for i in range(max(1, args.tenants)))
+    modes = ("closed", "open") if args.mode == "both" else (args.mode,)
+    for mode in modes:
+        report = serve(
+            mode, queries=args.queries, concurrency=args.concurrency,
+            rate=args.rate, batch_fraction=args.batch_fraction,
+            tenants=tenants, max_inflight=args.max_inflight,
+            queue_depth=args.queue_depth, timeout_s=args.timeout,
+            seed=args.seed,
+        )
+        _print_report(f"Serving {mode} loop", report)
+        write_bench_json(f"serving_{mode}", report.as_dict())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,97 @@
+"""CI serving-regression gate for tail latency.
+
+Compares fresh ``BENCH_serving_closed.json`` / ``BENCH_serving_open.json``
+(written by ``bench_serving.py``) against the committed baseline in
+``benchmarks/baselines/serving.json``, failing when any tracked lane's
+p99 rises more than the threshold above baseline.  Latencies are
+*virtual* seconds on a deterministic event loop — run-to-run noise is
+zero — so a p99 increase can only come from a code change that makes the
+serving path do more simulated work or queue longer.
+
+Completion counts are also checked: a "latency win" bought by silently
+rejecting or erroring more of the offered load is a regression too.
+
+Usage::
+
+    python benchmarks/check_serving_regression.py \
+        [--closed BENCH_serving_closed.json] \
+        [--open BENCH_serving_open.json] \
+        [--baseline benchmarks/baselines/serving.json] \
+        [--max-p99-rise 0.15]
+
+Exit status 0 when every lane passes, 1 otherwise.  After a deliberate
+serving change, refresh the baseline from a ``BENCH_SMOKE=1`` run (the
+scale CI uses) and commit it alongside the change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+DEFAULT_CLOSED = "BENCH_serving_closed.json"
+DEFAULT_OPEN = "BENCH_serving_open.json"
+DEFAULT_BASELINE = "benchmarks/baselines/serving.json"
+
+
+def check(closed_path: str, open_path: str, baseline_path: str,
+          max_p99_rise: float) -> int:
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    current = {}
+    for mode, path in (("closed", closed_path), ("open", open_path)):
+        with open(path) as handle:
+            current[mode] = json.load(handle)
+
+    failures = []
+    for mode, base_report in sorted(baseline.items()):
+        report = current.get(mode)
+        if report is None:
+            failures.append(f"{mode}: no current artifact")
+            continue
+        if report.get("completed", 0) < base_report.get("completed", 0):
+            failures.append(
+                f"{mode}: completed {report.get('completed')} < "
+                f"baseline {base_report.get('completed')}"
+            )
+        for lane, base_dist in sorted(base_report.get("latency", {}).items()):
+            cur_dist = report.get("latency", {}).get(lane)
+            if cur_dist is None:
+                failures.append(f"{mode}/{lane}: lane missing from current run")
+                continue
+            ceiling = base_dist["p99"] * (1.0 + max_p99_rise)
+            status = "ok"
+            if cur_dist["p99"] > ceiling:
+                failures.append(
+                    f"{mode}/{lane}: p99 {cur_dist['p99'] * 1e3:.4f}ms > "
+                    f"ceiling {ceiling * 1e3:.4f}ms (baseline "
+                    f"{base_dist['p99'] * 1e3:.4f}ms, max rise "
+                    f"{max_p99_rise:.0%})"
+                )
+                status = "P99 REGRESSION"
+            print(
+                f"{mode:7s} {lane:12s} p99 {base_dist['p99'] * 1e3:9.4f}ms -> "
+                f"{cur_dist['p99'] * 1e3:9.4f}ms  [{status}]"
+            )
+    if failures:
+        print("\nserving regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nserving regression gate passed")
+    return 0
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--closed", default=DEFAULT_CLOSED)
+    parser.add_argument("--open", dest="open_path", default=DEFAULT_OPEN)
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--max-p99-rise", type=float, default=0.15)
+    args = parser.parse_args(argv)
+    return check(args.closed, args.open_path, args.baseline, args.max_p99_rise)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

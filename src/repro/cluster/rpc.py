@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Optional
 
 from repro.errors import WorkerUnavailableError
+from repro.executor.cancel import CancelToken
 from repro.observe.trace import Tracer, maybe_span
 from repro.simulate.clock import SimulatedClock
 from repro.simulate.costmodel import DeviceCostModel
@@ -84,6 +85,7 @@ class RpcFabric:
         request_bytes: int,
         response_bytes: int,
         *args: Any,
+        cancel: Optional[CancelToken] = None,
         **kwargs: Any,
     ) -> Any:
         """Invoke ``method`` on ``target_id``, charging RPC cost.
@@ -92,7 +94,11 @@ class RpcFabric:
         ------
         WorkerUnavailableError
             If the target endpoint does not exist or is marked down.
+        QueryCancelledError
+            If ``cancel`` was set before dispatch; nothing is charged.
         """
+        if cancel is not None:
+            cancel.raise_if_cancelled()
         endpoint = self._endpoints.get(target_id)
         if endpoint is None or not endpoint.reachable:
             self._metrics.incr("rpc.failures")

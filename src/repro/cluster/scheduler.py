@@ -10,16 +10,24 @@ scaling").
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.hashring import MultiProbeHashRing
 
 
 class SegmentScheduler:
-    """Stable segment→worker assignment plus previous-owner tracking."""
+    """Stable segment→worker assignment plus previous-owner tracking.
+
+    Owner-history updates are guarded by a lock: the serving tier runs
+    concurrent queries against one warehouse, and two in-flight
+    :meth:`assign` calls must not interleave their read-modify-write of
+    the history maps.
+    """
 
     def __init__(self, ring: Optional[MultiProbeHashRing] = None) -> None:
         self.ring = ring or MultiProbeHashRing()
+        self._lock = threading.Lock()
         self._current: Dict[str, str] = {}
         self._previous: Dict[str, str] = {}
         # Manifest id each segment was last routed under (MVCC): the ring
@@ -61,15 +69,16 @@ class SegmentScheduler:
         manifest_id) while placement remains a pure segment-id hash.
         """
         assignment: Dict[str, str] = {}
-        for segment_id in segment_ids:
-            worker = self.ring.assign(segment_id)
-            old = self._current.get(segment_id)
-            if old is not None and old != worker:
-                self._previous[segment_id] = old
-            self._current[segment_id] = worker
-            if manifest_id is not None:
-                self._manifest[segment_id] = manifest_id
-            assignment[segment_id] = worker
+        with self._lock:
+            for segment_id in segment_ids:
+                worker = self.ring.assign(segment_id)
+                old = self._current.get(segment_id)
+                if old is not None and old != worker:
+                    self._previous[segment_id] = old
+                self._current[segment_id] = worker
+                if manifest_id is not None:
+                    self._manifest[segment_id] = manifest_id
+                assignment[segment_id] = worker
         return assignment
 
     def routed_manifest(self, segment_id: str) -> Optional[int]:

@@ -17,6 +17,7 @@ from typing import Any, Optional
 import numpy as np
 
 from repro.cluster.rpc import RpcFabric
+from repro.executor.cancel import CancelToken
 from repro.vindex.api import SearchResult
 from repro.vindex.iterator import GenericRestartIterator, SearchIterator
 
@@ -35,6 +36,9 @@ class RemoteSearchProvider:
     index_key: str
     dim: int
     ntotal: int
+    # Cancellation token of the query this provider is serving; checked
+    # by the fabric before each remote dispatch.
+    cancel: Optional[CancelToken] = None
 
     def _payload_bytes(self, k: int, bitset: Optional[np.ndarray]) -> int:
         query_bytes = self.dim * 4
@@ -60,6 +64,7 @@ class RemoteSearchProvider:
             k,
             bitset,
             params,
+            cancel=self.cancel,
         )
 
     def search_with_range(

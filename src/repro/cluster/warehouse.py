@@ -24,8 +24,10 @@ from typing import Callable, Dict, List, Optional
 
 from repro.cluster.rpc import RpcFabric
 from repro.cluster.scheduler import SegmentScheduler
+from repro.cluster.serving import RemoteSearchProvider
 from repro.cluster.worker import Worker
 from repro.errors import NoWorkersError, WorkerUnavailableError
+from repro.executor.cancel import CancelToken
 from repro.executor.columnio import ColumnReader
 from repro.executor.parallel import lane_makespan
 from repro.observe.trace import Tracer, maybe_span
@@ -189,17 +191,21 @@ class VirtualWarehouse:
         reader: ColumnReader,
         params: CostModelParams,
         manifest_id: Optional[int] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> QueryResult:
         """Run one planned query across the warehouse.
 
         ``manifest_id`` is the manifest the caller's snapshot pinned; it
         rides along so scheduling and worker spans attribute work to the
-        exact version scanned.
+        exact version scanned.  ``cancel`` is checked before each segment
+        scan and before every serving RPC the query issues.
 
         Raises
         ------
         NoWorkersError
             If the warehouse has no live workers.
+        QueryCancelledError
+            If ``cancel`` is set while segments remain to scan.
         """
         if not self.workers:
             raise NoWorkersError(f"warehouse {self.name!r} has no workers")
@@ -208,7 +214,7 @@ class VirtualWarehouse:
             try:
                 return self._execute_once(
                     plan, segments, bitmaps, index_key_of, reader, params,
-                    manifest_id,
+                    manifest_id, cancel,
                 )
             except WorkerUnavailableError:
                 # Query-level retry on the refreshed topology (§II-E).
@@ -229,6 +235,7 @@ class VirtualWarehouse:
         reader: ColumnReader,
         params: CostModelParams,
         manifest_id: Optional[int] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> QueryResult:
         start = self.clock.now
         by_id = {segment.segment_id: segment for segment in segments}
@@ -261,13 +268,16 @@ class VirtualWarehouse:
                     cost=self.cost,
                     params=params,
                     reader=reader,
-                    resolve_index=self._resolver_for(worker, index_key_of),
+                    resolve_index=self._resolver_for(worker, index_key_of, cancel),
                     metrics=self.metrics,
                     tracer=self.tracer,
                     manifest_id=manifest_id,
+                    cancel=cancel,
                 )
                 segment_costs: List[float] = []
                 for segment_id in segment_ids:
+                    if cancel is not None:
+                        cancel.raise_if_cancelled()
                     segment = by_id[segment_id]
                     with self.clock.capturing() as captured:
                         partials.append(
@@ -303,7 +313,12 @@ class VirtualWarehouse:
         self.metrics.incr("warehouse.queries")
         return result
 
-    def _resolver_for(self, worker: Worker, index_key_of: IndexKeyLookup):
+    def _resolver_for(
+        self,
+        worker: Worker,
+        index_key_of: IndexKeyLookup,
+        cancel: Optional[CancelToken] = None,
+    ):
         def resolve(segment: Segment):
             index_key = index_key_of(segment.segment_id)
             previous: Optional[Worker] = None
@@ -314,6 +329,8 @@ class VirtualWarehouse:
                 segment, index_key, previous,
                 serving_enabled=self.config.serving_enabled,
             )
+            if isinstance(provider, RemoteSearchProvider):
+                provider.cancel = cancel
             self.metrics.incr(f"warehouse.tier.{tier}")
             if self.tracer is not None:
                 self.tracer.annotate("tier", tier)

@@ -27,7 +27,7 @@ Session settings mirror the paper's ablation switches::
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,14 +37,22 @@ from repro.core.table import TableRuntime
 from repro.durability.manager import DurabilityConfig, DurabilityManager
 from repro.durability.recovery import RecoveryReport, run_recovery
 from repro.errors import BlendHouseError, SQLError
+from repro.executor.cancel import CancelToken
 from repro.executor.columnio import ColumnReader, ReadOptConfig
 from repro.executor.parallel import (
     BatchExecutionResult,
     ParallelConfig,
     execute_batch_on_segments,
     execute_plan_on_segments_parallel,
+    lane_makespan,
 )
-from repro.executor.pipeline import ExecContext, QueryResult, execute_plan_on_segments
+from repro.executor.pipeline import (
+    ExecContext,
+    QueryResult,
+    execute_plan_on_segments,
+    execute_segment,
+    merge_and_project,
+)
 from repro.ingest.update import apply_delete, apply_update
 from repro.ingest.writer import IngestConfig, IngestReport
 from repro.observe.export import MetricsExporter
@@ -180,6 +188,25 @@ class ExplainResult:
             "trace": self.trace.to_dict() if self.trace is not None else None,
             "rows": len(self.result) if self.result is not None else None,
         }
+
+
+@dataclass
+class SelectStage:
+    """One checkpoint of a staged SELECT (see :meth:`BlendHouse.select_stages`).
+
+    ``cost_s`` is the simulated compute this stage charged (captured, not
+    yet applied to the clock); ``advance_s`` is how much simulated time
+    the *query* should occupy for this stage — per-segment stages carry
+    their cost with ``advance_s == 0`` and a later ``scan`` stage carries
+    the fan-out makespan, so a serving tier can model parallel lanes
+    while still getting a cancellation checkpoint per segment.
+    """
+
+    name: str
+    cost_s: float = 0.0
+    advance_s: float = 0.0
+    manifest_id: Optional[int] = None
+    result: Optional[QueryResult] = None
 
 
 def _strip_explain_prefix(sql: str) -> str:
@@ -579,7 +606,10 @@ class BlendHouse:
         return plan
 
     def _exec_context(
-        self, runtime: TableRuntime, snapshot: Optional[Any] = None
+        self,
+        runtime: TableRuntime,
+        snapshot: Optional[Any] = None,
+        cancel: Optional[CancelToken] = None,
     ) -> ExecContext:
         schema = runtime.entry.schema
         params = CostModelParams.from_device_model(self.cost, max(schema.vector_dim, 1))
@@ -604,6 +634,7 @@ class BlendHouse:
             metrics=self.metrics,
             tracer=self.tracer,
             manifest_id=manifest_id,
+            cancel=cancel,
         )
 
     def _select_segments(
@@ -703,6 +734,126 @@ class BlendHouse:
         self.metrics.incr("queries")
         self.metrics.record_latency("query.latency", result.simulated_seconds)
         return result, plan
+
+    # ------------------------------------------------------------------
+    # Staged SELECT (serving tier)
+    # ------------------------------------------------------------------
+    def select_stages(
+        self, sql: str, cancel: Optional[CancelToken] = None
+    ) -> Iterator[SelectStage]:
+        """Run one SELECT as a generator of resumable stages.
+
+        The serving tier drives this instead of :meth:`execute`: each
+        ``yield`` is a cancellation checkpoint, per-stage simulated costs
+        are *captured* rather than applied to the shared clock (so the
+        caller can turn them into waiting on its own timeline, modelling
+        many queries in flight at once), and the snapshot pin is released
+        in a ``finally`` — closing the generator at any stage (client
+        timeout, disconnect, admission preemption) can never leak a
+        pinned manifest.
+
+        Every capture opens and closes *between* yields: cost capture and
+        tracer span stacks are thread-local, so holding one across a
+        yield would corrupt them when a cooperative scheduler interleaves
+        another query's stages on the same thread.
+
+        Stages, in order: ``pin`` → ``plan`` → one ``segment:<id>`` per
+        scheduled segment (cost only, zero advance — these are the
+        cancellation checkpoints) → ``scan`` (advance = fan-out makespan
+        over ``parallel_workers`` lanes) → optionally more ``segment:*``
+        plus a ``widen`` stage when adaptive widening triggers →
+        ``finish`` carrying the merge cost and the :class:`QueryResult`.
+        """
+        statement = parse_statement(sql)
+        if not isinstance(statement, Select):
+            raise SQLError("staged serving execution supports SELECT only")
+        runtime = self.table(statement.table)
+        snap = runtime.manager.snapshot(statement.as_of)
+        try:
+            yield SelectStage("pin", manifest_id=snap.manifest_id)
+            if cancel is not None:
+                cancel.raise_if_cancelled()
+            with self.clock.capturing() as captured:
+                plan = self._plan_select(sql, statement, version=snap.manifest_id)
+                ctx = self._exec_context(runtime, snapshot=snap, cancel=cancel)
+                scheduled, reserve = self._select_segments(runtime, plan, view=snap)
+                bitmaps = {
+                    segment.segment_id: snap.bitmap(segment.segment_id)
+                    for segment in scheduled + reserve
+                }
+            elapsed = captured.total
+            yield SelectStage(
+                "plan", cost_s=captured.total, advance_s=captured.total,
+                manifest_id=snap.manifest_id,
+            )
+            lanes = max(1, self.settings.parallel_workers)
+            partials: List[Any] = []
+            costs: List[float] = []
+            for segment in scheduled:
+                if cancel is not None:
+                    cancel.raise_if_cancelled()
+                with self.clock.capturing() as captured:
+                    partials.append(
+                        execute_segment(
+                            plan, segment, bitmaps.get(segment.segment_id), ctx
+                        )
+                    )
+                costs.append(captured.total)
+                yield SelectStage(
+                    f"segment:{segment.segment_id}", cost_s=captured.total
+                )
+            makespan = lane_makespan(costs, lanes)
+            elapsed += makespan
+            yield SelectStage("scan", cost_s=sum(costs), advance_s=makespan)
+            if cancel is not None:
+                cancel.raise_if_cancelled()
+            with self.clock.capturing() as captured:
+                result = merge_and_project(plan, partials, ctx, len(scheduled))
+            finish_cost = captured.total
+            wanted = plan.logical.k or 0
+            if (
+                reserve
+                and self.settings.adaptive_widening
+                and plan.logical.is_vector_query
+                and len(result) < max(wanted - plan.logical.offset, 0)
+            ):
+                # Runtime-adaptive widening: the centroid ranking under-
+                # estimated; scan the reserve wave and redo the merge.
+                self.metrics.incr("pruning.adaptive_widenings")
+                widen_costs: List[float] = []
+                for segment in reserve:
+                    if cancel is not None:
+                        cancel.raise_if_cancelled()
+                    with self.clock.capturing() as captured:
+                        partials.append(
+                            execute_segment(
+                                plan, segment, bitmaps.get(segment.segment_id), ctx
+                            )
+                        )
+                    widen_costs.append(captured.total)
+                    yield SelectStage(
+                        f"segment:{segment.segment_id}", cost_s=captured.total
+                    )
+                widen_makespan = lane_makespan(widen_costs, lanes)
+                elapsed += widen_makespan
+                yield SelectStage(
+                    "widen", cost_s=sum(widen_costs), advance_s=widen_makespan
+                )
+                with self.clock.capturing() as captured:
+                    result = merge_and_project(
+                        plan, partials, ctx, len(scheduled) + len(reserve)
+                    )
+                finish_cost += captured.total
+            elapsed += finish_cost
+            result.simulated_seconds = elapsed
+            self.metrics.incr("queries")
+            self.metrics.record_latency("query.latency", elapsed)
+            yield SelectStage(
+                "finish", cost_s=finish_cost, advance_s=finish_cost,
+                manifest_id=snap.manifest_id, result=result,
+            )
+        finally:
+            snap.release()
 
     # ------------------------------------------------------------------
     # Batched (nq > 1) queries

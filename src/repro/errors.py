@@ -109,6 +109,24 @@ class ExecutionError(BlendHouseError):
     """A physical operator failed at run time."""
 
 
+class QueryCancelledError(ExecutionError):
+    """The query's cancel token was set (client timeout, disconnect, or
+    an explicit cancel) and execution unwound at a scan boundary."""
+
+
+class ServingError(BlendHouseError):
+    """Serving front-end flow-control failures."""
+
+
+class AdmissionRejectedError(ServingError):
+    """The serving tier is saturated: every execution slot is busy and
+    the wait queue is at its configured depth."""
+
+
+class TenantQuotaExceededError(ServingError):
+    """The tenant already has its quota of queries in flight."""
+
+
 class ClusterError(BlendHouseError):
     """Virtual-warehouse runtime failures."""
 

@@ -42,6 +42,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.executor.cancel import CancelToken
 from repro.executor.pipeline import (
     ExecContext,
     PartialResult,
@@ -105,6 +106,7 @@ def fan_out(
     clock: SimulatedClock,
     tasks: Sequence[Callable[[], object]],
     pool_size: int,
+    cancel: Optional[CancelToken] = None,
 ) -> Tuple[List[object], List[float]]:
     """Run ``tasks`` concurrently; returns (results, costs) in task order.
 
@@ -113,11 +115,18 @@ def fan_out(
     charge a task makes (distance kernels, column reads, index loads)
     accumulates privately.  The caller decides how captured costs map to
     simulated time — normally :func:`lane_makespan`.
+
+    ``cancel`` is checked before every task starts: a cancellation that
+    lands mid-fan-out lets in-flight scans finish (numpy kernels are not
+    interruptible) but aborts every task that has not begun, raising
+    :class:`~repro.errors.QueryCancelledError` out of the join.
     """
     results: List[object] = [None] * len(tasks)
     costs: List[float] = [0.0] * len(tasks)
 
     def run(position: int) -> Tuple[int, object, float]:
+        if cancel is not None:
+            cancel.raise_if_cancelled()
         with clock.capturing() as captured:
             out = tasks[position]()
         return position, out, captured.total
@@ -189,7 +198,7 @@ def execute_plan_on_segments_parallel(
     tasks = [make_task(i, segment) for i, segment in enumerate(segments)]
     with maybe_span(ctx.tracer, "parallel_fanout",
                     segments=len(segments), workers=lanes) as fan_span:
-        partials, costs = fan_out(ctx.clock, tasks, lanes)
+        partials, costs = fan_out(ctx.clock, tasks, lanes, cancel=ctx.cancel)
         for registry in task_metrics:
             ctx.metrics.merge(registry)
         # Post-hoc per-segment spans: zero-duration (the scans ran under
@@ -421,7 +430,7 @@ def execute_batch_on_segments(
     with maybe_span(ctx.tracer, "batch_fanout",
                     queries=len(plans), segments=len(segment_order),
                     workers=lanes) as fan_span:
-        scans, costs = fan_out(ctx.clock, tasks, lanes)
+        scans, costs = fan_out(ctx.clock, tasks, lanes, cancel=ctx.cancel)
         for registry in task_metrics:
             ctx.metrics.merge(registry)
         makespan = lane_makespan(costs, lanes)

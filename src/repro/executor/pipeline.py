@@ -23,6 +23,7 @@ from repro.executor.annscan import (
     search_with_filter_op,
     search_with_range_op,
 )
+from repro.executor.cancel import CancelToken
 from repro.executor.columnio import ColumnReader
 from repro.observe.trace import Tracer, maybe_span
 from repro.planner.cost import CostModelParams
@@ -62,6 +63,9 @@ class ExecContext:
     tracer: Optional[Tracer] = None
     # Manifest this execution is pinned to (MVCC); None outside snapshots.
     manifest_id: Optional[int] = None
+    # Cooperative cancellation: checked at every scan boundary (serial
+    # loop, fan-out task start, warehouse worker groups, RPC dispatch).
+    cancel: Optional[CancelToken] = None
 
 
 @dataclass
@@ -451,10 +455,13 @@ def execute_plan_on_segments(
 ) -> QueryResult:
     """Run ``plan`` over ``segments`` and merge into the final result."""
     start = ctx.clock.now
-    partials = [
-        execute_segment(plan, segment, bitmaps.get(segment.segment_id), ctx)
-        for segment in segments
-    ]
+    partials = []
+    for segment in segments:
+        if ctx.cancel is not None:
+            ctx.cancel.raise_if_cancelled()
+        partials.append(
+            execute_segment(plan, segment, bitmaps.get(segment.segment_id), ctx)
+        )
     result = merge_and_project(plan, partials, ctx, len(segments))
     result.simulated_seconds = ctx.clock.elapsed_since(start)
     return result

@@ -1,0 +1,30 @@
+"""Asyncio serving tier: sessions, admission control, load generation.
+
+Public surface::
+
+    from repro.serving import (
+        Lane, QueryReply, QueryRequest, Session,
+        ServingConfig, ServingFrontend,
+        VirtualTimeEventLoop, run_virtual,
+        LoadReport, run_closed_loop, run_open_loop,
+    )
+"""
+
+from repro.serving.frontend import ServingConfig, ServingFrontend
+from repro.serving.loadgen import LoadReport, run_closed_loop, run_open_loop
+from repro.serving.loop import VirtualTimeEventLoop, run_virtual
+from repro.serving.session import Lane, QueryReply, QueryRequest, Session
+
+__all__ = [
+    "Lane",
+    "LoadReport",
+    "QueryReply",
+    "QueryRequest",
+    "ServingConfig",
+    "ServingFrontend",
+    "Session",
+    "VirtualTimeEventLoop",
+    "run_closed_loop",
+    "run_open_loop",
+    "run_virtual",
+]

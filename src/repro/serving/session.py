@@ -1,0 +1,149 @@
+"""Serving sessions: the connection-level view of the front-end.
+
+A :class:`Session` is one client connection.  It remembers the tenant,
+the default priority lane, and a per-session default timeout, and stamps
+those onto every :class:`QueryRequest` it submits — the wire protocol a
+real deployment would carry in its handshake.  Sessions are cheap
+handles over the shared :class:`~repro.serving.frontend.ServingFrontend`;
+thousands may be open at once.
+
+Lifecycle: ``frontend.session(tenant=...)`` opens one, ``submit`` /
+``query`` issue SELECTs, and :meth:`Session.close` cancels whatever the
+session still has in flight (a disconnect mid-query must unwind snapshot
+pins, which the front-end guarantees).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.executor.cancel import CancelToken
+from repro.executor.pipeline import QueryResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serving.frontend import ServingFrontend
+
+
+class Lane(enum.Enum):
+    """Priority lanes: interactive traffic preempts batch for slots."""
+
+    INTERACTIVE = "interactive"
+    BATCH = "batch"
+
+
+@dataclass
+class QueryRequest:
+    """One query admitted (or rejected) by the serving tier."""
+
+    sql: str
+    tenant: str = "default"
+    lane: Lane = Lane.INTERACTIVE
+    timeout_s: Optional[float] = None
+    session_id: int = 0
+    cancel: CancelToken = field(default_factory=CancelToken)
+
+
+@dataclass
+class QueryReply:
+    """Terminal outcome of one request.
+
+    ``status`` is one of ``ok``, ``rejected_admission``,
+    ``rejected_quota``, ``timeout``, ``cancelled``, or ``error``.
+    Latencies are virtual seconds: ``queue_wait_s`` from submission to
+    slot grant, ``service_s`` executing, ``latency_s`` end to end.
+    """
+
+    status: str
+    result: Optional[QueryResult] = None
+    error: Optional[str] = None
+    queue_wait_s: float = 0.0
+    service_s: float = 0.0
+    latency_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the query ran to completion."""
+        return self.status == "ok"
+
+
+class Session:
+    """One client connection to the serving front-end."""
+
+    def __init__(
+        self,
+        frontend: "ServingFrontend",
+        session_id: int,
+        tenant: str = "default",
+        lane: Lane = Lane.INTERACTIVE,
+        timeout_s: Optional[float] = None,
+    ) -> None:
+        self.frontend = frontend
+        self.session_id = session_id
+        self.tenant = tenant
+        self.lane = lane
+        self.timeout_s = timeout_s
+        self.closed = False
+        self._inflight: Dict[int, CancelToken] = {}
+        self._next_query = 0
+
+    def _request(
+        self,
+        sql: str,
+        lane: Optional[Lane] = None,
+        timeout_s: Optional[float] = None,
+    ) -> QueryRequest:
+        return QueryRequest(
+            sql=sql,
+            tenant=self.tenant,
+            lane=lane or self.lane,
+            timeout_s=self.timeout_s if timeout_s is None else timeout_s,
+            session_id=self.session_id,
+        )
+
+    async def submit(
+        self,
+        sql: str,
+        lane: Optional[Lane] = None,
+        timeout_s: Optional[float] = None,
+    ) -> QueryReply:
+        """Run one SELECT through the front-end; never raises flow-control
+        errors — rejections and timeouts come back as the reply status."""
+        if self.closed:
+            return QueryReply(status="error", error="session closed")
+        request = self._request(sql, lane=lane, timeout_s=timeout_s)
+        key = self._next_query
+        self._next_query += 1
+        self._inflight[key] = request.cancel
+        try:
+            return await self.frontend.submit(request)
+        finally:
+            self._inflight.pop(key, None)
+
+    async def query(self, sql: str, **kwargs: Any) -> QueryResult:
+        """Like :meth:`submit` but unwraps the result, raising on failure.
+
+        Raises
+        ------
+        repro.errors.ServingError
+            Via the front-end's reply-to-exception mapping.
+        """
+        reply = await self.submit(sql, **kwargs)
+        return self.frontend.unwrap(reply)
+
+    def close(self) -> None:
+        """Disconnect: cancel everything the session still has in flight."""
+        if self.closed:
+            return
+        self.closed = True
+        for token in self._inflight.values():
+            token.cancel("session closed")
+        self._inflight.clear()
+        self.frontend._session_closed(self.session_id)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 def percentile(sorted_values: Sequence[float], q: float) -> float:
@@ -101,6 +101,17 @@ class LatencyRecorder:
         if total <= 0:
             return float("inf")
         return self.count / total
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Percentile ``q`` in [0, 100], or ``None`` with no observations.
+
+        Unlike :meth:`summary`, an empty window is not an error: pollers
+        (the serving load generator reads tail latency mid-run) may ask
+        before the first completion lands.
+        """
+        if not self._values:
+            return None
+        return percentile(sorted(self._values), q)
 
     def summary(self) -> LatencySummary:
         """Percentile summary of everything recorded so far."""

@@ -52,6 +52,18 @@ class TestLatencyRecorder:
     def test_qps_empty_is_zero(self):
         assert LatencyRecorder().qps() == 0.0
 
+    def test_percentile_empty_window_is_none(self):
+        # Regression: live tail polling (serving load generator) samples
+        # p99 before the first completion; an empty window answers None
+        # instead of raising out of the module-level percentile().
+        assert LatencyRecorder().percentile(99.0) is None
+
+    def test_percentile_nonempty(self):
+        rec = LatencyRecorder()
+        rec.extend([0.3, 0.1, 0.2])
+        assert rec.percentile(50) == pytest.approx(0.2)
+        assert rec.percentile(100) == pytest.approx(0.3)
+
     def test_qps_zero_cost_observations_is_infinite(self):
         # Regression: N queries costing zero simulated time are infinitely
         # fast, not 0 QPS — the all-memory-hit workload must not report
