@@ -52,6 +52,7 @@ from benchmarks.common import (
     write_bench_json,
 )
 from repro.core.database import BlendHouse
+from repro.observe.slo import SLObjective, SLOMonitor
 from repro.serving import (
     ServingConfig,
     ServingFrontend,
@@ -78,6 +79,32 @@ QUEUE_DEPTH = 16
 BATCH_FRACTION = 0.25
 TENANTS = ("tenant-a", "tenant-b", "tenant-c")
 SLOWDOWN = float(os.environ.get("SERVING_SLOWDOWN", "1") or "1")
+
+# SLO calibration against baselines/serving.json: interactive p50 is
+# ~0.16 virtual ms and p95 ~0.28 ms, so at the healthy baseline only a
+# few percent of queries breach this threshold — while any SERVING_
+# SLOWDOWN >= 2 pushes the bulk of the distribution (p50 and up) over
+# it, tripping the fast-burn alert deterministically.
+SLO_LATENCY_THRESHOLD_S = 3e-4
+SLO_TARGET = 0.8            # 20% error budget on the latency objective
+SLO_ALERT_BURN_RATE = 1.5   # alert when >30% of queries breach
+SLO_REJECTION_TARGET = 0.7  # admission pressure is expected; alert on worse
+
+
+def attach_slo(db, frontend):
+    """A monitor watching the interactive lane plus rejection rate."""
+    slo = SLOMonitor(db.clock, metrics=db.metrics)
+    slo.add_objective(SLObjective(
+        name="interactive_latency", kind="latency", lane="interactive",
+        target=SLO_TARGET, threshold_s=SLO_LATENCY_THRESHOLD_S,
+        alert_burn_rate=SLO_ALERT_BURN_RATE,
+    ))
+    slo.add_objective(SLObjective(
+        name="rejection_rate", kind="rejection",
+        target=SLO_REJECTION_TARGET, alert_burn_rate=4.0,
+    ))
+    frontend.slo = slo
+    return slo
 
 
 def vector_sql(vector):
@@ -126,13 +153,21 @@ def serve(mode, queries=TOTAL_QUERIES, concurrency=CLOSED_CONCURRENCY,
           rate=OPEN_RATE_QPS, batch_fraction=BATCH_FRACTION,
           tenants=TENANTS, max_inflight=MAX_INFLIGHT,
           queue_depth=QUEUE_DEPTH, timeout_s=None, seed=11):
-    """One load run on a fresh engine; returns the LoadReport."""
+    """One load run on a fresh engine; returns (LoadReport, observability).
+
+    The second element carries the SLO evaluation, the flight records
+    the slow-query log captured, and the event-stream summary.
+    """
     db, sqls = build_workload()
     frontend = ServingFrontend(db, ServingConfig(
         max_inflight=max_inflight,
         max_queue_depth=queue_depth,
         time_scale=SLOWDOWN,
     ))
+    slo = attach_slo(db, frontend)
+    # Record a flight for anything over the SLO threshold (plus the
+    # tail-sampled normals the log takes by default).
+    db.slowlog.threshold_s = SLO_LATENCY_THRESHOLD_S
     if mode == "closed":
         report = run_virtual(run_closed_loop(
             frontend, sqls, concurrency=concurrency, total_queries=queries,
@@ -147,7 +182,13 @@ def serve(mode, queries=TOTAL_QUERIES, concurrency=CLOSED_CONCURRENCY,
         ))
     pinned = db.table("prod").manager.store.pinned_count
     assert pinned == 0, f"{pinned} snapshot pins leaked by serving run"
-    return report
+    observability = {
+        "slo": slo.as_dict(),
+        "slow_queries": [rec.to_dict() for rec in db.slowlog.records()],
+        "slowlog_recorded": db.slowlog.recorded,
+        "events": db.events.summary(),
+    }
+    return report, observability
 
 
 def _latency_rows(report):
@@ -186,15 +227,42 @@ def open_report():
 
 
 def test_serving_closed_loop(benchmark, closed_report):
-    report = closed_report
+    report, observability = closed_report
     _print_report(
         f"Serving closed loop: {CLOSED_CONCURRENCY} workers, "
         f"{MAX_INFLIGHT} slots (virtual seconds)",
         report,
     )
     payload = report.as_dict()
+    payload["observability"] = observability
     record(benchmark, "closed", payload)
     write_bench_json("serving_closed", payload)
+
+    # SLO burn-rate behaviour is deterministic on the virtual clock: the
+    # healthy baseline holds the alert clear, while an injected
+    # SERVING_SLOWDOWN fault (>= 2x derating) must trip the fast burn.
+    latency_slo = observability["slo"]["interactive_latency"]
+    if SLOWDOWN >= 2.0:
+        assert latency_slo["alerting"], (
+            f"SERVING_SLOWDOWN={SLOWDOWN} must trip the latency SLO: "
+            f"{latency_slo}"
+        )
+        # The flight recorder holds full records for the offending
+        # queries: span trace, chosen plan, manifest, lane, queue wait.
+        slow = [
+            rec for rec in observability["slow_queries"]
+            if rec["reason"] == "slow"
+        ]
+        assert slow, "slowdown run must capture slow flight records"
+        for rec in slow:
+            assert rec["plan"].get("strategy")
+            assert rec["manifest_id"] is not None
+            assert rec["lane"] in ("interactive", "batch")
+            assert rec["queue_wait_s"] is not None
+    elif SLOWDOWN == 1.0:
+        assert not latency_slo["alerting"], (
+            f"healthy baseline must not page: {latency_slo}"
+        )
 
     # Every offered query terminates with some reply.
     assert report.completed + report.rejected_admission + report.timeouts + \
@@ -212,13 +280,14 @@ def test_serving_closed_loop(benchmark, closed_report):
 
 
 def test_serving_open_loop(benchmark, open_report):
-    report = open_report
+    report, observability = open_report
     _print_report(
         f"Serving open loop: {OPEN_RATE_QPS:.0f} qps Poisson arrivals, "
         f"{MAX_INFLIGHT} slots (virtual seconds)",
         report,
     )
     payload = report.as_dict()
+    payload["observability"] = observability
     record(benchmark, "open", payload)
     write_bench_json("serving_open", payload)
 
@@ -251,7 +320,7 @@ def main(argv):
     tenants = tuple(f"tenant-{i}" for i in range(max(1, args.tenants)))
     modes = ("closed", "open") if args.mode == "both" else (args.mode,)
     for mode in modes:
-        report = serve(
+        report, observability = serve(
             mode, queries=args.queries, concurrency=args.concurrency,
             rate=args.rate, batch_fraction=args.batch_fraction,
             tenants=tenants, max_inflight=args.max_inflight,
@@ -259,7 +328,15 @@ def main(argv):
             seed=args.seed,
         )
         _print_report(f"Serving {mode} loop", report)
-        write_bench_json(f"serving_{mode}", report.as_dict())
+        for name, status in observability["slo"].items():
+            state = "FIRING" if status["alerting"] else "ok"
+            print(
+                f"slo {name}: {state}  fast_burn={status['fast_burn']:.2f}  "
+                f"slow_burn={status['slow_burn']:.2f}"
+            )
+        payload = report.as_dict()
+        payload["observability"] = observability
+        write_bench_json(f"serving_{mode}", payload)
     return 0
 
 

@@ -12,6 +12,8 @@ dot-commands:
 ``.tables``      list tables
 ``.describe t``  table summary (segments, rows, index)
 ``.metrics``     Prometheus-style metrics dump (counters, latencies)
+``.slowlog``     flight recorder (same as ``SHOW SLOW QUERIES``)
+``.profile``     wall-clock profile report (needs ``REPRO_PROFILE=1``)
 ``.compact t``   run compaction for table ``t``
 ``.seed t n d``  create demo table ``t`` with ``n`` random rows, dim ``d``
 ``.quit``        exit
@@ -28,6 +30,8 @@ import numpy as np
 from repro.core.database import BlendHouse, ExplainResult
 from repro.errors import BlendHouseError
 from repro.executor.pipeline import QueryResult
+from repro.observe.profile import PROFILER
+from repro.observe.slowlog import SlowQueryReport
 
 PROMPT = "blendhouse> "
 CONTINUATION = "        ...> "
@@ -107,6 +111,10 @@ def handle_dot_command(db: BlendHouse, line: str) -> Optional[str]:
         return "\n".join(f"{k}: {v}" for k, v in db.describe(parts[1]).items())
     if command == ".metrics":
         return db.export_metrics().render() or "(no metrics yet)"
+    if command == ".slowlog":
+        return db.slowlog.report().render()
+    if command == ".profile":
+        return PROFILER.render()
     if command == ".compact" and len(parts) == 2:
         merges = db.compact(parts[1])
         return f"{len(merges)} merges"
@@ -119,6 +127,8 @@ def execute_line(db: BlendHouse, sql: str) -> str:
     """Run one SQL statement and describe its effect."""
     result = db.execute(sql)
     if isinstance(result, ExplainResult):
+        return result.render()
+    if isinstance(result, SlowQueryReport):
         return result.render()
     if isinstance(result, QueryResult):
         return format_result(result)

@@ -293,7 +293,7 @@ class VirtualWarehouse:
             queued = max(0, len(segment_ids) - lanes)
             if queued:
                 self.metrics.incr("warehouse.scans_queued", queued)
-            self.metrics.record_latency("warehouse.queue_depth", float(queued))
+            self.metrics.sample("warehouse.queue_depth", float(queued))
 
         makespan = max(worker_costs) if worker_costs else 0.0
         effective = makespan * self._interference_factor()

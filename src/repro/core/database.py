@@ -55,7 +55,10 @@ from repro.executor.pipeline import (
 )
 from repro.ingest.update import apply_delete, apply_update
 from repro.ingest.writer import IngestConfig, IngestReport
+from repro.observe.events import EventLog
 from repro.observe.export import MetricsExporter
+from repro.observe.profile import maybe_profile
+from repro.observe.slowlog import SlowQueryLog
 from repro.observe.trace import Span, Tracer
 from repro.partition.pruning import prune_segments_scalar, select_semantic_candidates
 from repro.planner.cost import CostModelParams
@@ -80,6 +83,7 @@ from repro.sqlparser.ast_nodes import (
     Insert,
     Select,
     SetStatement,
+    ShowSlowQueries,
     Update,
 )
 from repro.sqlparser.lexer import TokenType, tokenize
@@ -109,6 +113,15 @@ class EngineSettings:
     # cores (and real threads).  1 = strictly serial execution; results
     # are byte-identical either way, only simulated wall-time changes.
     parallel_workers: int = 1
+    # Tracer root retention (SET trace_max_roots): completed query trees
+    # kept for EXPLAIN ANALYZE / the flight recorder before the oldest
+    # fall off (counted in ``trace.roots_dropped``).
+    trace_max_roots: int = 64
+    # Flight-recorder knobs: queries slower than the threshold are always
+    # recorded; one in every ``slowlog_sample_every`` fast queries is
+    # tail-sampled too (0 disables sampling).
+    slowlog_threshold_ms: float = 50.0
+    slowlog_sample_every: int = 100
 
     _BOOL_KEYS = (
         "enable_cbo", "enable_plan_cache", "enable_short_circuit",
@@ -131,8 +144,12 @@ class EngineSettings:
             setattr(self, key, bool(int(value)) if not isinstance(value, bool) else value)
             return
         if key in ("ef_search", "nprobe", "semantic_prune_keep",
-                   "prefilter_row_threshold", "parallel_workers"):
+                   "prefilter_row_threshold", "parallel_workers",
+                   "trace_max_roots", "slowlog_sample_every"):
             setattr(self, key, int(value))
+            return
+        if key == "slowlog_threshold_ms":
+            self.slowlog_threshold_ms = float(value)
             return
         if key == "forced_strategy":
             text = str(value).lower()
@@ -207,6 +224,10 @@ class SelectStage:
     advance_s: float = 0.0
     manifest_id: Optional[int] = None
     result: Optional[QueryResult] = None
+    # Flight-record payload (plan, cache deltas, manifest_id, synthetic
+    # trace) attached to the final stage; the serving tier hands it to
+    # the slow-query log when the query turns out to warrant a record.
+    flight: Optional[Dict[str, Any]] = None
 
 
 def _strip_explain_prefix(sql: str) -> str:
@@ -239,8 +260,21 @@ class BlendHouse:
         self.cost = cost_model or (
             store.cost_model if store is not None else DeviceCostModel()
         )
+        self.settings = settings or EngineSettings()
         self.metrics = MetricRegistry()
-        self.tracer = Tracer(self.clock)
+        # The engine-wide event log rides on the registry so deep
+        # components (manifest store, caches, WAL, compactor) can emit
+        # without constructor plumbing; see observe/events.emit_event.
+        self.events = EventLog(self.clock)
+        self.metrics.events = self.events
+        self.tracer = Tracer(
+            self.clock, max_roots=self.settings.trace_max_roots,
+            metrics=self.metrics,
+        )
+        self.slowlog = SlowQueryLog(
+            threshold_s=self.settings.slowlog_threshold_ms / 1e3,
+            sample_every=self.settings.slowlog_sample_every,
+        )
         if store is not None:
             # Recovery path: reuse the surviving shared store (and its
             # clock/cost model unless overridden above).
@@ -249,7 +283,6 @@ class BlendHouse:
         else:
             self.store = ObjectStore(self.clock, self.cost, self.metrics)
         self.catalog = Catalog()
-        self.settings = settings or EngineSettings()
         self.plan_cache = PlanCache()
         self._ingest_config = ingest_config or IngestConfig()
         self._read_config = read_config or ReadOptConfig()
@@ -321,10 +354,19 @@ class BlendHouse:
             return result
         if isinstance(statement, SetStatement):
             self.settings.apply(statement.name, statement.value)
+            self._sync_observe_settings()
             return {"setting": statement.name, "value": statement.value}
         if isinstance(statement, Checkpoint):
             return self.checkpoint(reason="statement")
+        if isinstance(statement, ShowSlowQueries):
+            return self.slowlog.report(statement.limit)
         raise BlendHouseError(f"unhandled statement type {type(statement).__name__}")
+
+    def _sync_observe_settings(self) -> None:
+        """Push observability SET values into the live tracer/slowlog."""
+        self.tracer.set_max_roots(self.settings.trace_max_roots)
+        self.slowlog.threshold_s = self.settings.slowlog_threshold_ms / 1e3
+        self.slowlog.sample_every = self.settings.slowlog_sample_every
 
     # ------------------------------------------------------------------
     # DDL
@@ -695,16 +737,75 @@ class BlendHouse:
         result, _ = self._run_select(sql, statement)
         return result
 
+    # ------------------------------------------------------------------
+    # Flight recorder capture
+    # ------------------------------------------------------------------
+    def _cache_counters(self) -> Dict[str, int]:
+        """Cache-tier counters the flight record diffs around a query."""
+        return {
+            "memory_hits": self.metrics.count("index_cache.memory_hits"),
+            "disk_hits": self.metrics.count("index_cache.disk_hits"),
+            "remote_fetches": self.metrics.count("index_cache.remote_fetches"),
+        }
+
+    @staticmethod
+    def _cache_delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+        return {key: after[key] - before[key] for key in after}
+
+    @staticmethod
+    def _plan_payload(plan: PhysicalPlan) -> Dict[str, Any]:
+        """The chosen plan plus the CBO alternatives it rejected."""
+        return {
+            "strategy": plan.strategy.value,
+            "use_index": plan.use_index,
+            "search_params": dict(plan.search_params),
+            "cbo_used": plan.cbo_used,
+            "short_circuited": plan.short_circuited,
+            "sigma": plan.sigma,
+            "estimated_selectivity": plan.estimated_selectivity,
+            "alternatives": dict(plan.estimated_costs),
+        }
+
+    def _maybe_record_flight(
+        self,
+        sql: str,
+        plan: PhysicalPlan,
+        latency_s: float,
+        manifest_id: Optional[int],
+        cache_before: Dict[str, int],
+    ) -> None:
+        """Offer one synchronous query to the slow-query log.
+
+        The cheap threshold/sampling decision runs first so the hot path
+        pays nothing for fast, unsampled queries; the trace is the still-
+        open query root, held by reference and serialized at export time.
+        """
+        reason = self.slowlog.should_record(latency_s)
+        if reason is None:
+            return
+        self.slowlog.observe(
+            timestamp=self.clock.now,
+            sql=sql,
+            latency_s=latency_s,
+            reason=reason,
+            manifest_id=manifest_id,
+            plan=self._plan_payload(plan),
+            cache=self._cache_delta(cache_before, self._cache_counters()),
+            trace=self.tracer.last_root() if self.tracer.enabled else None,
+        )
+
     def _run_select(
         self, sql: str, statement: Select
     ) -> Tuple[QueryResult, PhysicalPlan]:
         runtime = self.table(statement.table)
+        cache_before = self._cache_counters()
         # Pin one manifest for the query's whole lifetime: planning,
         # pruning, bitmap capture, and execution all read this version,
         # so concurrent ingest/compaction commits are invisible and
         # ``AS OF <manifest_id>`` replays history exactly.
         with runtime.manager.snapshot(statement.as_of) as snap:
-            plan = self._plan_select(sql, statement, version=snap.manifest_id)
+            with maybe_profile("select.plan", self.clock):
+                plan = self._plan_select(sql, statement, version=snap.manifest_id)
             ctx = self._exec_context(runtime, snapshot=snap)
             scheduled, reserve = self._select_segments(runtime, plan, view=snap)
             bitmaps = {
@@ -712,7 +813,8 @@ class BlendHouse:
                 for segment in scheduled + reserve
             }
             start = self.clock.now
-            with self.tracer.span("execute", segments=len(scheduled)) as span:
+            with maybe_profile("select.execute", self.clock), \
+                    self.tracer.span("execute", segments=len(scheduled)) as span:
                 span.set_tag("manifest_id", snap.manifest_id)
                 result = self._execute_segments(plan, scheduled, bitmaps, ctx)
                 wanted = plan.logical.k or 0
@@ -731,8 +833,12 @@ class BlendHouse:
                     )
                 span.set_tag("rows", len(result))
             result.simulated_seconds = self.clock.elapsed_since(start)
+            manifest_id = snap.manifest_id
         self.metrics.incr("queries")
         self.metrics.record_latency("query.latency", result.simulated_seconds)
+        self._maybe_record_flight(
+            sql, plan, result.simulated_seconds, manifest_id, cache_before
+        )
         return result, plan
 
     # ------------------------------------------------------------------
@@ -768,6 +874,17 @@ class BlendHouse:
         if not isinstance(statement, Select):
             raise SQLError("staged serving execution supports SELECT only")
         runtime = self.table(statement.table)
+        cache_before = self._cache_counters()
+        # Spans cannot be held across yields (thread-local stacks), so
+        # the staged path records a synthetic trace: one child dict per
+        # stage, mirroring Span.to_dict for the flight record.
+        stage_spans: List[Dict[str, Any]] = []
+
+        def _stage_span(name: str, cost_s: float) -> None:
+            stage_spans.append(
+                {"name": name, "duration": cost_s, "tags": {}, "children": []}
+            )
+
         snap = runtime.manager.snapshot(statement.as_of)
         try:
             yield SelectStage("pin", manifest_id=snap.manifest_id)
@@ -782,6 +899,7 @@ class BlendHouse:
                     for segment in scheduled + reserve
                 }
             elapsed = captured.total
+            _stage_span("plan", captured.total)
             yield SelectStage(
                 "plan", cost_s=captured.total, advance_s=captured.total,
                 manifest_id=snap.manifest_id,
@@ -799,11 +917,13 @@ class BlendHouse:
                         )
                     )
                 costs.append(captured.total)
+                _stage_span(f"segment:{segment.segment_id}", captured.total)
                 yield SelectStage(
                     f"segment:{segment.segment_id}", cost_s=captured.total
                 )
             makespan = lane_makespan(costs, lanes)
             elapsed += makespan
+            _stage_span("scan", makespan)
             yield SelectStage("scan", cost_s=sum(costs), advance_s=makespan)
             if cancel is not None:
                 cancel.raise_if_cancelled()
@@ -831,11 +951,13 @@ class BlendHouse:
                             )
                         )
                     widen_costs.append(captured.total)
+                    _stage_span(f"segment:{segment.segment_id}", captured.total)
                     yield SelectStage(
                         f"segment:{segment.segment_id}", cost_s=captured.total
                     )
                 widen_makespan = lane_makespan(widen_costs, lanes)
                 elapsed += widen_makespan
+                _stage_span("widen", widen_makespan)
                 yield SelectStage(
                     "widen", cost_s=sum(widen_costs), advance_s=widen_makespan
                 )
@@ -848,9 +970,21 @@ class BlendHouse:
             result.simulated_seconds = elapsed
             self.metrics.incr("queries")
             self.metrics.record_latency("query.latency", elapsed)
+            _stage_span("finish", finish_cost)
+            flight = {
+                "manifest_id": snap.manifest_id,
+                "plan": self._plan_payload(plan),
+                "cache": self._cache_delta(cache_before, self._cache_counters()),
+                "trace": {
+                    "name": "select_stages",
+                    "duration": elapsed,
+                    "tags": {"manifest_id": snap.manifest_id},
+                    "children": stage_spans,
+                },
+            }
             yield SelectStage(
                 "finish", cost_s=finish_cost, advance_s=finish_cost,
-                manifest_id=snap.manifest_id, result=result,
+                manifest_id=snap.manifest_id, result=result, flight=flight,
             )
         finally:
             snap.release()
@@ -1119,7 +1253,9 @@ class BlendHouse:
     # ------------------------------------------------------------------
     def export_metrics(self) -> MetricsExporter:
         """The public metrics surface: snapshot dict / Prometheus text."""
-        return MetricsExporter(self.metrics, self.tracer)
+        return MetricsExporter(
+            self.metrics, self.tracer, events=self.events, slowlog=self.slowlog
+        )
 
     # ------------------------------------------------------------------
     # Introspection

@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Optional
 from repro.durability.crashpoints import CrashPointRegistry
 from repro.durability.wal import WriteAheadLog
 from repro.errors import RecoveryError
+from repro.observe.events import emit_event
 from repro.observe.trace import Tracer
 from repro.simulate.metrics import MetricRegistry
 from repro.storage.objectstore import ObjectStore
@@ -156,6 +157,11 @@ class Checkpointer:
             self._crash.hit("checkpoint.after_truncate")
             self._metrics.incr("durability.checkpoints")
             self._metrics.incr("durability.checkpoint_bytes", len(body))
+            emit_event(
+                self._metrics, "checkpoint.swap",
+                checkpoint_id=checkpoint_id, wal_lsn=wal_lsn,
+                nbytes=len(body), reason=reason,
+            )
         return CheckpointInfo(
             checkpoint_id=checkpoint_id,
             wal_lsn=wal_lsn,

@@ -35,6 +35,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.durability.crashpoints import CrashPointRegistry
 from repro.errors import WALCorruptionError
+from repro.observe.events import emit_event
 from repro.simulate.metrics import MetricRegistry
 from repro.storage.objectstore import ObjectStore
 
@@ -212,6 +213,10 @@ class WriteAheadLog:
             self._buffer.clear()
             self._metrics.incr("durability.wal_bytes", len(body))
             self._metrics.incr("durability.wal_flushes")
+            emit_event(
+                self._metrics, "wal.group_commit",
+                chunk=key, nbytes=len(body), last_lsn=self._last_flushed_lsn,
+            )
             self._crash.hit("wal.after_flush")
             return len(body)
 

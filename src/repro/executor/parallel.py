@@ -54,6 +54,7 @@ from repro.executor.pipeline import (
     _structured_scan_mask,
     execute_plan_on_segments,
 )
+from repro.observe.profile import maybe_profile
 from repro.observe.trace import maybe_span
 from repro.planner.optimizer import ExecutionStrategy, PhysicalPlan
 from repro.simulate.clock import SimulatedClock
@@ -190,14 +191,18 @@ def execute_plan_on_segments_parallel(
                 tracer=None,  # task spans are emitted post-hoc, in order
                 manifest_id=ctx.manifest_id,
             )
-            return _execute_segment(
-                plan, segment, bitmaps.get(segment.segment_id), task_ctx
-            )
+            # No clock here: the worker runs under a cost capture, so
+            # simulated time never moves — only real time is telling.
+            with maybe_profile("segment.scan.parallel"):
+                return _execute_segment(
+                    plan, segment, bitmaps.get(segment.segment_id), task_ctx
+                )
         return run
 
     tasks = [make_task(i, segment) for i, segment in enumerate(segments)]
-    with maybe_span(ctx.tracer, "parallel_fanout",
-                    segments=len(segments), workers=lanes) as fan_span:
+    with maybe_profile("parallel.fanout", ctx.clock), \
+            maybe_span(ctx.tracer, "parallel_fanout",
+                       segments=len(segments), workers=lanes) as fan_span:
         partials, costs = fan_out(ctx.clock, tasks, lanes, cancel=ctx.cancel)
         for registry in task_metrics:
             ctx.metrics.merge(registry)

@@ -25,6 +25,7 @@ from repro.executor.annscan import (
 )
 from repro.executor.cancel import CancelToken
 from repro.executor.columnio import ColumnReader
+from repro.observe.profile import maybe_profile
 from repro.observe.trace import Tracer, maybe_span
 from repro.planner.cost import CostModelParams
 from repro.planner.optimizer import ExecutionStrategy, PhysicalPlan
@@ -420,7 +421,8 @@ def execute_segment(
     with maybe_span(ctx.tracer, "segment_scan",
                     segment=segment.segment_id,
                     strategy=plan.strategy.value) as span:
-        partial = _execute_segment(plan, segment, bitmap, ctx)
+        with maybe_profile("segment.scan", ctx.clock):
+            partial = _execute_segment(plan, segment, bitmap, ctx)
         if span is not None:
             span.set_tag("rows", int(partial.offsets.size))
         return partial

@@ -1,19 +1,55 @@
-"""Query-path observability: trace spans, histograms, metric export.
+"""The observability plane: traces, metrics, events, slowlog, SLOs.
+
+Five complementary surfaces, all (except the wall-clock profiler)
+measuring *simulated* time from the shared
+:class:`~repro.simulate.clock.SimulatedClock`:
+
+* **Traces** (:mod:`repro.observe.trace`) — per-query span trees;
+  ``EXPLAIN ANALYZE`` renders them.
+* **Metrics** (:mod:`repro.simulate.metrics`,
+  :mod:`repro.observe.export`) — counters, latency recorders, sampled
+  gauges, histograms; Prometheus exposition via ``render()``.
+* **Events** (:mod:`repro.observe.events`) — bounded structured log of
+  control-plane transitions (admission, WAL commits, manifest swaps,
+  cache promotions, compactions).
+* **Slow-query log** (:mod:`repro.observe.slowlog`) — per-query flight
+  records with plan, cache deltas, and trace; ``SHOW SLOW QUERIES``.
+* **SLOs** (:mod:`repro.observe.slo`) — multi-window burn-rate alerts
+  over serving latency and rejection rate.
+* **Profiling** (:mod:`repro.observe.profile`) — wall-clock python time
+  attributed against simulated cost (``REPRO_PROFILE=1``).
 
 The span model and metric name catalog are documented in DESIGN.md
-("Observability") and README.md.  Everything here measures *simulated*
-time from the shared :class:`~repro.simulate.clock.SimulatedClock`.
+("Observability") and README.md.
 """
 
+from repro.observe.events import Event, EventLog, JsonlSink, emit_event
 from repro.observe.export import MetricsExporter
+from repro.observe.profile import PROFILER, PhaseStat, Profiler, maybe_profile
+from repro.observe.slo import SLOMonitor, SLObjective
+from repro.observe.slowlog import FlightRecord, SlowQueryLog, SlowQueryReport
 from repro.observe.trace import Span, Tracer, maybe_span
-from repro.simulate.metrics import Histogram, MetricRegistry
+from repro.simulate.metrics import Histogram, MetricRegistry, SampledGauge
 
 __all__ = [
+    "Event",
+    "EventLog",
+    "FlightRecord",
     "Histogram",
+    "JsonlSink",
     "MetricRegistry",
     "MetricsExporter",
+    "PROFILER",
+    "PhaseStat",
+    "Profiler",
+    "SLOMonitor",
+    "SLObjective",
+    "SampledGauge",
+    "SlowQueryLog",
+    "SlowQueryReport",
     "Span",
     "Tracer",
+    "emit_event",
+    "maybe_profile",
     "maybe_span",
 ]

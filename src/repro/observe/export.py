@@ -3,7 +3,7 @@
 Benches, tests, and the REPL consume these views instead of reading
 component internals.  :class:`MetricsExporter` wraps one
 :class:`~repro.simulate.metrics.MetricRegistry` (and optionally the
-engine tracer) and exposes
+engine tracer, event log, and slow-query log) and exposes
 
 * :meth:`MetricsExporter.as_dict` — a JSON-safe snapshot, and
 * :meth:`MetricsExporter.render` — Prometheus-style text exposition.
@@ -14,35 +14,70 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Optional
 
+from repro.observe.events import EventLog
+from repro.observe.slowlog import SlowQueryLog
 from repro.observe.trace import Tracer
 from repro.simulate.metrics import MetricRegistry
 
 
 class MetricsExporter:
-    """Read-only export facade over a registry and an optional tracer."""
+    """Read-only export facade over a registry and optional trace state."""
 
     def __init__(
         self,
         registry: MetricRegistry,
         tracer: Optional[Tracer] = None,
+        events: Optional[EventLog] = None,
+        slowlog: Optional[SlowQueryLog] = None,
     ) -> None:
         self._registry = registry
         self._tracer = tracer
+        self._events = events
+        self._slowlog = slowlog
 
     def counter(self, name: str) -> int:
-        """One counter's exported value (zero when absent)."""
-        return int(self.as_dict()["counters"].get(name, 0))
+        """One counter's value (zero when absent).
+
+        Reads the registry directly: building a full :meth:`as_dict`
+        snapshot (latency summaries, histogram buckets, trace
+        serialization) per single-counter read made pollers that sample
+        one counter in a loop quadratic in trace size.
+        """
+        return int(self._registry.count(name))
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        """One gauge's current value.
+
+        Point-set gauges (``MetricRegistry.gauge``) live in the counter
+        table; sampled gauges (``MetricRegistry.sample``) report their
+        most recent sample.  ``default`` comes back when the name was
+        never recorded either way.
+        """
+        sampled = self._registry.samples.get(name)
+        if sampled is not None and sampled.count:
+            return float(sampled.last)
+        if name in self._registry.counters:
+            return float(self._registry.counters[name])
+        return default
 
     def as_dict(self) -> Dict[str, Any]:
-        """Snapshot of counters, latency summaries, and histograms.
+        """Snapshot of counters, latency summaries, histograms, samples.
 
         When a tracer is attached the most recent root span tree rides
-        along under ``"last_trace"`` (None when no query has run).
+        along under ``"last_trace"`` (None when no query has run); an
+        attached event log adds per-type counts under ``"events"`` and a
+        slow-query log adds its flight records under ``"slow_queries"``.
         """
         snapshot: Dict[str, Any] = self._registry.as_dict()
         if self._tracer is not None:
             root = self._tracer.last_root()
             snapshot["last_trace"] = root.to_dict() if root is not None else None
+        if self._events is not None:
+            snapshot["events"] = self._events.summary()
+        if self._slowlog is not None:
+            snapshot["slow_queries"] = [
+                record.to_dict() for record in self._slowlog.records()
+            ]
         return snapshot
 
     def as_json(self, indent: Optional[int] = None) -> str:

@@ -1,0 +1,153 @@
+"""Wall-clock profiling hooks: real python time vs simulated cost.
+
+Everything else in ``repro.observe`` measures the *simulated* clock —
+by design, since the reproduction charges modeled costs instead of
+doing real I/O.  But honest wall-clock claims (ROADMAP item 1 wants a
+multiprocess scan path) need the opposite attribution: how much *real*
+python time each phase burns per unit of simulated cost it represents.
+
+:class:`Profiler` aggregates per-phase ``(real_s, sim_s, calls)``
+triples.  Hot paths call :func:`maybe_profile`, which returns a shared
+no-op context while profiling is disabled — the default — so the hooks
+cost one attribute read when off.  Enable with ``REPRO_PROFILE=1`` in
+the environment (read at import) or ``PROFILER.enable()`` at runtime.
+
+The report divides real by simulated seconds per phase: that ratio is
+the python overhead factor the overhead bench tracks, and the phases
+with the highest ``real_s`` are where multiprocessing pays off first.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass
+from typing import Any, ContextManager, Dict, Iterator, Optional
+
+from repro.simulate.clock import SimulatedClock
+
+
+@dataclass
+class PhaseStat:
+    """Aggregate timing for one named phase."""
+
+    real_s: float = 0.0
+    sim_s: float = 0.0
+    calls: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "real_s": self.real_s,
+            "sim_s": self.sim_s,
+            "calls": self.calls,
+        }
+        # Real seconds of python per simulated second modeled: the
+        # overhead factor.  None when the phase carried no simulated
+        # cost (pure-python phases have nothing to normalize against).
+        out["overhead_x"] = (self.real_s / self.sim_s) if self.sim_s > 0 else None
+        return out
+
+
+class Profiler:
+    """Thread-safe per-phase wall-clock aggregator."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._phases: Dict[str, PhaseStat] = {}
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        with self._lock:
+            self._phases.clear()
+
+    def add(self, name: str, real_s: float, sim_s: float = 0.0) -> None:
+        """Credit one completed phase execution."""
+        with self._lock:
+            stat = self._phases.get(name)
+            if stat is None:
+                stat = self._phases[name] = PhaseStat()
+            stat.real_s += real_s
+            stat.sim_s += sim_s
+            stat.calls += 1
+
+    @contextmanager
+    def phase(
+        self, name: str, clock: Optional[SimulatedClock] = None
+    ) -> Iterator[None]:
+        """Time one phase: real via ``perf_counter``, simulated via ``clock``.
+
+        Inside a cost capture (parallel fan-out workers) ``clock.now``
+        does not move, so captured phases report ``sim_s=0`` here and
+        the caller credits captured cost via :meth:`add` instead.
+        """
+        real_start = time.perf_counter()
+        sim_start = clock.now if clock is not None else 0.0
+        try:
+            yield
+        finally:
+            sim_end = clock.now if clock is not None else 0.0
+            self.add(name, time.perf_counter() - real_start, sim_end - sim_start)
+
+    def phases(self) -> Dict[str, PhaseStat]:
+        """Snapshot of per-phase stats (copies, safe to hold)."""
+        with self._lock:
+            return {
+                name: PhaseStat(stat.real_s, stat.sim_s, stat.calls)
+                for name, stat in self._phases.items()
+            }
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-safe per-phase overhead report, plus totals."""
+        phases = self.phases()
+        total_real = sum(stat.real_s for stat in phases.values())
+        total_sim = sum(stat.sim_s for stat in phases.values())
+        return {
+            "enabled": self.enabled,
+            "phases": {
+                name: stat.as_dict() for name, stat in sorted(phases.items())
+            },
+            "total_real_s": total_real,
+            "total_sim_s": total_sim,
+            "overhead_x": (total_real / total_sim) if total_sim > 0 else None,
+        }
+
+    def render(self) -> str:
+        """ASCII table of the report, widest real-time phases first."""
+        phases = self.phases()
+        if not phases:
+            return "profile: (no phases recorded)"
+        lines = [
+            f"{'phase':<28} {'calls':>7} {'real ms':>10} {'sim ms':>10} {'real/sim':>9}"
+        ]
+        ordered = sorted(phases.items(), key=lambda kv: -kv[1].real_s)
+        for name, stat in ordered:
+            ratio = f"{stat.real_s / stat.sim_s:9.2f}" if stat.sim_s > 0 else "        -"
+            lines.append(
+                f"{name:<28} {stat.calls:>7} {stat.real_s * 1e3:>10.3f}"
+                f" {stat.sim_s * 1e3:>10.3f} {ratio}"
+            )
+        return "\n".join(lines)
+
+
+# Process-wide profiler; hooks are compiled in everywhere but dormant
+# unless REPRO_PROFILE is set (or a bench calls PROFILER.enable()).
+PROFILER = Profiler(enabled=os.environ.get("REPRO_PROFILE", "") not in ("", "0"))
+
+_NULL_CONTEXT: ContextManager[None] = nullcontext()
+
+
+def maybe_profile(
+    name: str, clock: Optional[SimulatedClock] = None
+) -> ContextManager[None]:
+    """``PROFILER.phase`` when profiling is on, else a shared no-op."""
+    if not PROFILER.enabled:
+        return _NULL_CONTEXT
+    return PROFILER.phase(name, clock)

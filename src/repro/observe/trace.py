@@ -124,6 +124,25 @@ def _fmt_tag(value: Any) -> str:
     return str(value)
 
 
+class _NoopSpan(Span):
+    """Shared inert span handed out while a tracer is disabled.
+
+    Callers hold span references and call ``set_tag`` on them; a single
+    immutable instance keeps the disabled path allocation-free.
+    """
+
+    __slots__ = ()
+
+    def set_tag(self, key: str, value: Any) -> None:
+        pass
+
+    def finish(self, end: float) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan("tracing-disabled", 0.0)
+
+
 class Tracer:
     """Builds span trees against a :class:`SimulatedClock`.
 
@@ -140,10 +159,42 @@ class Tracer:
         self,
         clock: SimulatedClock,
         max_roots: int = DEFAULT_MAX_ROOTS,
+        metrics: Optional[Any] = None,
     ) -> None:
         self._clock = clock
         self._local = threading.local()
         self._roots: "deque[Span]" = deque(maxlen=max_roots)
+        self._metrics = metrics
+        # Root trees silently truncated by the retention bound; long
+        # soak runs watch this (also exported as ``trace.roots_dropped``)
+        # to know their trace history is incomplete.
+        self.roots_dropped = 0
+        # When False, span()/start() hand out an inert shared span and
+        # record nothing — the tracing-off baseline for overhead benches.
+        self.enabled = True
+
+    @property
+    def max_roots(self) -> int:
+        """Current root-retention bound."""
+        return self._roots.maxlen or 0
+
+    def set_max_roots(self, max_roots: int) -> None:
+        """Resize root retention (``SET trace_max_roots``), keeping the
+        newest roots when shrinking."""
+        if max_roots < 1:
+            raise ValueError(f"trace_max_roots must be positive: {max_roots}")
+        if max_roots == self._roots.maxlen:
+            return
+        kept = list(self._roots)[-max_roots:]
+        dropped = len(self._roots) - len(kept)
+        if dropped:
+            self._count_dropped(dropped)
+        self._roots = deque(kept, maxlen=max_roots)
+
+    def _count_dropped(self, n: int = 1) -> None:
+        self.roots_dropped += n
+        if self._metrics is not None:
+            self._metrics.incr("trace.roots_dropped", n)
 
     @property
     def _stack(self) -> List[Span]:
@@ -170,14 +221,20 @@ class Tracer:
 
     def start(self, name: str, **tags: Any) -> Span:
         """Open a span; the caller must :meth:`finish` it."""
+        if not self.enabled:
+            return _NOOP_SPAN
         span = Span(name, self._clock.now, parent=self.current, tags=tags)
         if span.parent is None:
+            if len(self._roots) == self._roots.maxlen:
+                self._count_dropped()
             self._roots.append(span)
         self._stack.append(span)
         return span
 
     def finish(self, span: Span) -> None:
         """Close ``span`` (and any deeper spans left open) at clock-now."""
+        if span is _NOOP_SPAN:
+            return
         while self._stack:
             top = self._stack.pop()
             top.finish(self._clock.now)

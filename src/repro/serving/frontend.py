@@ -42,6 +42,7 @@ from repro.errors import (
     TenantQuotaExceededError,
 )
 from repro.executor.pipeline import QueryResult
+from repro.observe.events import emit_event
 from repro.observe.trace import maybe_span
 from repro.serving.session import Lane, QueryReply, QueryRequest, Session
 
@@ -92,6 +93,9 @@ class ServingFrontend:
         self.config = config or ServingConfig()
         self.metrics = db.metrics
         self.tracer = db.tracer
+        # Optional SLOMonitor observing every reply (see observe/slo.py);
+        # benches attach one to assert burn-rate behaviour.
+        self.slo = None
         self._running = 0
         self._queues: Dict[Lane, Deque[asyncio.Future]] = {
             lane: deque() for lane in _LANE_ORDER
@@ -162,22 +166,35 @@ class ServingFrontend:
         quota = self.config.tenant_quota
         if quota > 0 and self._tenant_inflight.get(request.tenant, 0) >= quota:
             self.metrics.incr("serving.rejected_quota")
-            return QueryReply(
+            emit_event(
+                self.metrics, "serving.rejected", reason="quota",
+                tenant=request.tenant, lane=lane.value,
+            )
+            reply = QueryReply(
                 status="rejected_quota",
                 error=f"tenant {request.tenant!r} has {quota} queries in flight",
             )
+            self._record_reply(request, reply)
+            return reply
         if (
             self._running >= self.config.max_inflight
             and self.queued >= self.config.max_queue_depth
         ):
             self.metrics.incr("serving.rejected_admission")
-            return QueryReply(
+            emit_event(
+                self.metrics, "serving.rejected", reason="admission",
+                tenant=request.tenant, lane=lane.value,
+                running=self._running, queued=self.queued,
+            )
+            reply = QueryReply(
                 status="rejected_admission",
                 error=(
                     f"saturated: {self._running} running, "
                     f"{self.queued} queued"
                 ),
             )
+            self._record_reply(request, reply)
+            return reply
         self._tenant_inflight[request.tenant] = (
             self._tenant_inflight.get(request.tenant, 0) + 1
         )
@@ -194,6 +211,10 @@ class ServingFrontend:
         except asyncio.TimeoutError:
             request.cancel.cancel("timeout")
             self.metrics.incr("serving.timeouts")
+            emit_event(
+                self.metrics, "serving.timeout", tenant=request.tenant,
+                lane=lane.value, timeout_s=timeout,
+            )
             reply = QueryReply(
                 status="timeout",
                 error=f"deadline of {timeout}s exceeded",
@@ -201,6 +222,10 @@ class ServingFrontend:
             )
         except QueryCancelledError as exc:
             self.metrics.incr("serving.cancelled")
+            emit_event(
+                self.metrics, "serving.cancelled", tenant=request.tenant,
+                lane=lane.value, reason=str(exc),
+            )
             reply = QueryReply(
                 status="cancelled", error=str(exc),
                 latency_s=loop.time() - submitted,
@@ -210,6 +235,10 @@ class ServingFrontend:
             # flag the token so engine-level checks fire, then propagate.
             request.cancel.cancel("client disconnected")
             self.metrics.incr("serving.cancelled")
+            emit_event(
+                self.metrics, "serving.cancelled", tenant=request.tenant,
+                lane=lane.value, reason="client disconnected",
+            )
             raise
         except Exception as exc:  # engine errors surface as replies too
             self.metrics.incr("serving.errors")
@@ -223,7 +252,7 @@ class ServingFrontend:
                 self._tenant_inflight[request.tenant] = remaining
             else:
                 self._tenant_inflight.pop(request.tenant, None)
-        self._record_reply(lane, reply)
+        self._record_reply(request, reply)
         return reply
 
     def unwrap(self, reply: QueryReply) -> QueryResult:
@@ -255,8 +284,12 @@ class ServingFrontend:
         loop = asyncio.get_running_loop()
         await self._acquire_slot(request.lane)
         granted = loop.time()
+        emit_event(
+            self.metrics, "serving.admitted", tenant=request.tenant,
+            lane=request.lane.value, queue_wait_s=granted - submitted,
+        )
         try:
-            result = await self._run_stages(request)
+            result, flight = await self._run_stages(request)
         finally:
             self._release_slot()
         finished = loop.time()
@@ -266,6 +299,7 @@ class ServingFrontend:
             queue_wait_s=granted - submitted,
             service_s=finished - granted,
             latency_s=finished - submitted,
+            flight=flight,
         )
 
     async def _acquire_slot(self, lane: Lane) -> None:
@@ -278,7 +312,7 @@ class ServingFrontend:
         loop = asyncio.get_running_loop()
         fut: asyncio.Future = loop.create_future()
         self._queues[lane].append(fut)
-        self.metrics.record_latency("serving.queue_depth", float(self.queued))
+        self.metrics.sample("serving.queue_depth", float(self.queued))
         try:
             await fut
         except asyncio.CancelledError:
@@ -316,7 +350,9 @@ class ServingFrontend:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    async def _run_stages(self, request: QueryRequest) -> QueryResult:
+    async def _run_stages(
+        self, request: QueryRequest
+    ) -> "tuple[QueryResult, Optional[Dict[str, object]]]":
         """Drive the staged generator, sleeping each stage's advance.
 
         Closing the generator (any exception at the awaits, including
@@ -324,6 +360,7 @@ class ServingFrontend:
         """
         stages = self.db.select_stages(request.sql, cancel=request.cancel)
         result: Optional[QueryResult] = None
+        flight: Optional[Dict[str, object]] = None
         try:
             while True:
                 self._sync_clock()
@@ -333,6 +370,8 @@ class ServingFrontend:
                     break
                 if stage.result is not None:
                     result = stage.result
+                if stage.flight is not None:
+                    flight = stage.flight
                 advance = stage.advance_s * self.config.time_scale
                 if advance > 0:
                     await asyncio.sleep(advance)
@@ -351,7 +390,7 @@ class ServingFrontend:
         ) as span:
             if span is not None:
                 span.set_tag("latency_s", round(result.simulated_seconds, 9))
-        return result
+        return result, flight
 
     def _sync_clock(self) -> None:
         """Pull the engine's simulated clock up to serving virtual time.
@@ -370,13 +409,40 @@ class ServingFrontend:
     # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
-    def _record_reply(self, lane: Lane, reply: QueryReply) -> None:
-        if reply.ok:
-            self.metrics.incr("serving.completed")
-            self.metrics.record_latency(
-                f"serving.latency.{lane.value}", reply.latency_s
-            )
-            self.metrics.record_latency(
-                f"serving.queue_wait.{lane.value}", reply.queue_wait_s
-            )
-            self.metrics.record_latency("serving.service", reply.service_s)
+    def _record_reply(self, request: QueryRequest, reply: QueryReply) -> None:
+        lane = request.lane
+        if self.slo is not None:
+            # Every terminal outcome feeds the SLO monitor — rejections
+            # count against the availability objective, completions
+            # against the latency objective.
+            self.slo.observe_reply(lane.value, reply)
+        if not reply.ok:
+            return
+        self.metrics.incr("serving.completed")
+        self.metrics.record_latency(
+            f"serving.latency.{lane.value}", reply.latency_s
+        )
+        self.metrics.record_latency(
+            f"serving.queue_wait.{lane.value}", reply.queue_wait_s
+        )
+        self.metrics.record_latency("serving.service", reply.service_s)
+        slowlog = getattr(self.db, "slowlog", None)
+        if slowlog is None:
+            return
+        reason = slowlog.should_record(reply.latency_s)
+        if reason is None:
+            return
+        payload = reply.flight or {}
+        slowlog.observe(
+            timestamp=self.db.clock.now,
+            sql=request.sql,
+            latency_s=reply.latency_s,
+            reason=reason,
+            lane=lane.value,
+            tenant=request.tenant,
+            queue_wait_s=reply.queue_wait_s,
+            manifest_id=payload.get("manifest_id"),
+            plan=payload.get("plan"),
+            cache=payload.get("cache"),
+            trace=payload.get("trace"),
+        )

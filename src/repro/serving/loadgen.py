@@ -93,7 +93,7 @@ class _Collector:
         self.statuses: Dict[str, int] = {}
         self.latencies: Dict[Lane, List[float]] = {lane: [] for lane in Lane}
         self.queue_waits: List[float] = []
-        self.depth_start = frontend.metrics.latency("serving.queue_depth").count
+        self.depth_start = frontend.metrics.sampled("serving.queue_depth").count
 
     def add(self, lane: Lane, reply: Any) -> None:
         self.statuses[reply.status] = self.statuses.get(reply.status, 0) + 1
@@ -116,7 +116,7 @@ class _Collector:
             dist = _distribution(self.latencies[lane])
             if dist is not None:
                 latency[lane.value] = dist
-        depths = self.frontend.metrics.latency("serving.queue_depth").values[
+        depths = self.frontend.metrics.sampled("serving.queue_depth").values[
             self.depth_start:
         ]
         completed = self.statuses.get("ok", 0)

@@ -61,6 +61,9 @@ class QueryReply:
     queue_wait_s: float = 0.0
     service_s: float = 0.0
     latency_s: float = 0.0
+    # Flight-record payload handed up by the staged executor (plan,
+    # cache deltas, manifest_id, trace); consumed by the slow-query log.
+    flight: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:

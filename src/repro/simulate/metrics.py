@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 
 def percentile(sorted_values: Sequence[float], q: float) -> float:
@@ -166,6 +166,75 @@ class ThroughputWindow:
         return out
 
 
+class SampledGauge:
+    """A gauge observed at instants: keeps the sample series, not a sum.
+
+    Point-in-time facts that vary over a run (queue depth, burn rate)
+    are *sampled*, not accumulated — recording them through
+    :class:`LatencyRecorder` conflated "how deep is the queue" with "how
+    long did something take" and polluted the latency histograms.  A
+    sampled gauge keeps the raw series (benches read distributions over
+    it) plus O(1) last/min/max/sum for rendering.
+    """
+
+    def __init__(self) -> None:
+        self._values: List[float] = []
+        self.last: float = 0.0
+        self.minimum: float = math.inf
+        self.maximum: float = -math.inf
+        self.total: float = 0.0
+
+    def sample(self, value: float) -> None:
+        """Record one observation of the gauge's current value."""
+        value = float(value)
+        self._values.append(value)
+        self.last = value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        self.total += value
+
+    @property
+    def count(self) -> int:
+        """Number of samples taken."""
+        return len(self._values)
+
+    @property
+    def values(self) -> List[float]:
+        """Copy of the raw samples in record order."""
+        return list(self._values)
+
+    def mean(self) -> float:
+        """Average sampled value (0.0 with no samples)."""
+        if not self._values:
+            return 0.0
+        return self.total / len(self._values)
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Percentile ``q`` in [0, 100], or ``None`` with no samples."""
+        if not self._values:
+            return None
+        return percentile(sorted(self._values), q)
+
+    def extend(self, values: Sequence[float]) -> None:
+        """Record many samples at once (deterministic merge order)."""
+        for value in values:
+            self.sample(value)
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-safe view: last/min/max/mean/count."""
+        if not self._values:
+            return {"count": 0, "last": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": len(self._values),
+            "last": self.last,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean(),
+        }
+
+
 class Histogram:
     """Exponential-bucket histogram (Prometheus ``le`` semantics).
 
@@ -247,6 +316,15 @@ class MetricRegistry:
     histograms: Dict[str, Histogram] = field(
         default_factory=lambda: defaultdict(Histogram)
     )
+    samples: Dict[str, SampledGauge] = field(
+        default_factory=lambda: defaultdict(SampledGauge)
+    )
+    # Optional structured event log (repro.observe.events.EventLog),
+    # attached by the engine that owns this registry.  Typed as Any so
+    # the simulate layer does not import observe; task-private
+    # registries used by parallel fan-out leave it None and merge()
+    # never touches it (events always flow through the engine registry).
+    events: Any = None
 
     def incr(self, name: str, delta: int = 1) -> None:
         """Increment counter ``name`` by ``delta``."""
@@ -269,6 +347,14 @@ class MetricRegistry:
         histogram both, so exports carry the full distribution)."""
         self.latencies[name].record(seconds)
         self.histograms[name].observe(seconds)
+
+    def sample(self, name: str, value: float) -> None:
+        """Record one point-in-time sample of gauge ``name``."""
+        self.samples[name].sample(value)
+
+    def sampled(self, name: str) -> SampledGauge:
+        """Sampled gauge for ``name``, created on first use."""
+        return self.samples[name]
 
     def latency(self, name: str) -> LatencyRecorder:
         """Recorder for ``name``, created on first use."""
@@ -295,6 +381,8 @@ class MetricRegistry:
                 self.histograms[name].merge(histogram)
             else:
                 self.histograms[name] = histogram
+        for name, gauge in other.samples.items():
+            self.samples[name].extend(gauge.values)
 
     def as_dict(self) -> Dict[str, Dict[str, object]]:
         """Exported snapshot: the public surface benches assert against.
@@ -315,6 +403,11 @@ class MetricRegistry:
                 for name, histogram in self.histograms.items()
                 if histogram.count
             },
+            "samples": {
+                name: gauge.as_dict()
+                for name, gauge in self.samples.items()
+                if gauge.count
+            },
         }
 
     def render(self) -> str:
@@ -328,6 +421,19 @@ class MetricRegistry:
             metric = _prom_name(name)
             lines.append(f"# TYPE {metric}_total counter")
             lines.append(f"{metric}_total {self.counters[name]}")
+        for name in sorted(self.samples):
+            gauge = self.samples[name]
+            if not gauge.count:
+                continue
+            metric = _prom_name(name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {gauge.last:.9g}")
+            for stat, value in (("min", gauge.minimum), ("max", gauge.maximum),
+                                ("mean", gauge.mean())):
+                lines.append(
+                    f'{metric}{{stat={_prom_label_value(stat)}}} {value:.9g}'
+                )
+            lines.append(f"{metric}_samples_count {gauge.count}")
         for name in sorted(self.latencies):
             recorder = self.latencies[name]
             if not recorder.count:
@@ -363,8 +469,27 @@ class MetricRegistry:
         self.counters.clear()
         self.latencies.clear()
         self.histograms.clear()
+        self.samples.clear()
 
 
 def _prom_name(name: str) -> str:
     """Metric name mangled to the Prometheus charset (dots → underscores)."""
-    return "".join(ch if (ch.isalnum() or ch == "_") else "_" for ch in name)
+    mangled = "".join(ch if (ch.isalnum() or ch == "_") else "_" for ch in name)
+    if mangled and mangled[0].isdigit():
+        mangled = "_" + mangled
+    return mangled
+
+
+def _prom_label_value(value: str) -> str:
+    """A label value quoted and escaped per the Prometheus text format.
+
+    Backslash, double quote, and newline are the three characters the
+    exposition format requires escaping inside label values.
+    """
+    escaped = (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+    return f'"{escaped}"'

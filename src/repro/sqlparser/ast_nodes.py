@@ -191,6 +191,13 @@ class Checkpoint(Statement):
     """CHECKPOINT: force a durability checkpoint and WAL truncation."""
 
 
+@dataclass
+class ShowSlowQueries(Statement):
+    """SHOW SLOW QUERIES [LIMIT n]: render the flight recorder."""
+
+    limit: Optional[int] = None
+
+
 # ----------------------------------------------------------------------
 # Queries
 # ----------------------------------------------------------------------

@@ -18,7 +18,7 @@ KEYWORDS = {
     "VALUES", "SELECT", "FROM", "WHERE", "AND", "OR", "LIMIT", "AS",
     "ASC", "DESC", "BETWEEN", "IN", "LIKE", "REGEXP", "UPDATE", "SET",
     "DELETE", "NULL", "TRUE", "FALSE", "IS", "OFFSET", "CSV", "INFILE",
-    "EXPLAIN", "ANALYZE", "OF", "CHECKPOINT",
+    "EXPLAIN", "ANALYZE", "OF", "CHECKPOINT", "SHOW", "SLOW", "QUERIES",
 }
 
 

@@ -30,6 +30,7 @@ from repro.sqlparser.ast_nodes import (
     Select,
     SelectItem,
     SetStatement,
+    ShowSlowQueries,
     Statement,
     UnaryOp,
     Update,
@@ -131,6 +132,8 @@ class _Parser:
             self.advance()
             self._finish()
             return Checkpoint()
+        if token.is_keyword("SHOW"):
+            return self._parse_show()
         raise ParseError(
             f"unsupported statement starting with {token.value!r}",
             position=token.position,
@@ -147,6 +150,16 @@ class _Parser:
                 position=token.position,
             )
         return Explain(statement=self._parse_select(), analyze=analyze)
+
+    def _parse_show(self) -> ShowSlowQueries:
+        self.expect_keyword("SHOW")
+        self.expect_keyword("SLOW")
+        self.expect_keyword("QUERIES")
+        limit: Optional[int] = None
+        if self.match_keyword("LIMIT"):
+            limit = int(self.expect(TokenType.NUMBER).value)
+        self._finish()
+        return ShowSlowQueries(limit=limit)
 
     def _finish(self) -> None:
         self.match(TokenType.SEMICOLON)

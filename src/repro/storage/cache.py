@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Callable, Optional, Tuple
 
+from repro.observe.events import emit_event
 from repro.observe.trace import Tracer, maybe_span
 from repro.simulate.clock import SimulatedClock
 from repro.simulate.costmodel import DeviceCostModel
@@ -50,6 +51,10 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Optional ``(key, size_bytes)`` callback fired on every
+        # capacity-pressure eviction; the hierarchical cache uses it to
+        # emit structured eviction events.
+        self.on_evict: Optional[Callable[[str, int], None]] = None
 
     @property
     def used_bytes(self) -> int:
@@ -86,11 +91,15 @@ class LRUCache:
         if size > self.capacity_bytes:
             if displaced is not None:
                 self.evictions += 1
+                if self.on_evict is not None:
+                    self.on_evict(key, displaced[1])
             return False
         while self._used + size > self.capacity_bytes and self._entries:
-            _, (_, evicted_size) = self._entries.popitem(last=False)
+            evicted_key, (_, evicted_size) = self._entries.popitem(last=False)
             self._used -= evicted_size
             self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(evicted_key, evicted_size)
         self._entries[key] = (value, size)
         self._used += size
         return True
@@ -203,6 +212,14 @@ class HierarchicalIndexCache:
         self._cost = cost_model or DeviceCostModel()
         self._metrics = metrics or MetricRegistry()
         self._tracer = tracer
+        self._memory.data.on_evict = self._on_memory_evict
+
+    def _on_memory_evict(self, key: str, nbytes: int) -> None:
+        self._metrics.incr("index_cache.memory_evictions")
+        emit_event(
+            self._metrics, "cache.eviction", tier="memory",
+            key=key, nbytes=nbytes,
+        )
 
     def get(self, key: str) -> Tuple[Any, str]:
         """Fetch index ``key`` through the hierarchy, back-filling tiers.
@@ -234,21 +251,26 @@ class HierarchicalIndexCache:
         if self._disk is not None and key in self._disk:
             payload = self._disk.read(key)
             value = self._deserialize(payload)
-            self._fill_memory(key, value)
+            self._fill_memory(key, value, source="disk")
             self._metrics.incr("index_cache.disk_hits")
             return value, "disk"
         payload = self._store.get(key)  # raises ObjectNotFoundError
         value = self._deserialize(payload)
         if self._disk is not None:
             self._disk.write(key, payload)
-        self._fill_memory(key, value)
+        self._fill_memory(key, value, source="remote")
         self._metrics.incr("index_cache.remote_fetches")
         return value, "remote"
 
-    def _fill_memory(self, key: str, value: Any) -> None:
+    def _fill_memory(self, key: str, value: Any, source: str = "remote") -> None:
         """Back-fill the RAM tier; an oversize value still displaces any
         stale predecessor (see :meth:`LRUCache.put`) but is not cached."""
-        if not self._memory.put_data(key, value):
+        if self._memory.put_data(key, value):
+            emit_event(
+                self._metrics, "cache.promotion", tier="memory",
+                key=key, source=source,
+            )
+        else:
             self._metrics.incr("index_cache.memory_insert_rejected")
 
     def contains_in_memory(self, key: str) -> bool:
@@ -266,7 +288,7 @@ class HierarchicalIndexCache:
         value = self._deserialize(payload)
         if self._disk is not None:
             self._disk.write(key, payload)
-        self._fill_memory(key, value)
+        self._fill_memory(key, value, source="preload")
         self._metrics.incr("index_cache.preloads")
         return True
 

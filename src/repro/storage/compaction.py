@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.catalog.catalog import TableEntry
 from repro.ingest.buildcost import estimate_index_build_cost
+from repro.observe.events import emit_event
 from repro.simulate.clock import SimulatedClock
 from repro.simulate.costmodel import DeviceCostModel
 from repro.simulate.metrics import MetricRegistry
@@ -195,6 +196,11 @@ class Compactor:
         """Merge one group into a single next-level segment."""
         schema = self.entry.schema
         first = group[0]
+        emit_event(
+            self.metrics, "compaction.start", table=schema.name,
+            inputs=[segment.segment_id for segment in group],
+            level=first.meta.level,
+        )
         alive_scalars: Dict[str, List[Any]] = {
             name: [] for name in first.scalar_column_names
         }
@@ -280,6 +286,12 @@ class Compactor:
         self.clock.advance(simulated)
         self.metrics.incr("compaction.merges")
         self.metrics.incr("compaction.rows_dropped", dead)
+        emit_event(
+            self.metrics, "compaction.finish", table=schema.name,
+            output_segment_id=new_id, rows_in=rows_in,
+            rows_out=merged.row_count, dropped=dead,
+            simulated_s=simulated,
+        )
         return CompactionResult(
             input_segment_ids=[segment.segment_id for segment in group],
             output_segment_id=new_id,

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ManifestError, SegmentError, SnapshotExpiredError
+from repro.observe.events import emit_event
 from repro.simulate.metrics import MetricRegistry
 from repro.storage.deletebitmap import DeleteBitmap
 from repro.storage.segment import Segment, SegmentMeta
@@ -393,6 +394,12 @@ class ManifestStore:
             self.current = manifest
             self.metrics.gauge("mvcc.manifest_id", manifest_id)
             self.metrics.incr("mvcc.commits")
+            emit_event(
+                self.metrics, "manifest.publish", table=self.table,
+                manifest_id=manifest_id,
+                previous_id=previous.manifest_id,
+                segments=len(manifest.segment_ids()),
+            )
             # The replaced manifest keeps its segment refs only while
             # snapshots pin it; otherwise its exclusively-held segments
             # retire now.
@@ -473,6 +480,10 @@ class ManifestStore:
             self._pins[manifest_id] = self._pins.get(manifest_id, 0) + 1
             self.metrics.gauge("mvcc.pinned_snapshots", sum(self._pins.values()))
             self.metrics.incr("mvcc.snapshots_opened")
+            emit_event(
+                self.metrics, "snapshot.pin", table=self.table,
+                manifest_id=manifest_id, pins=self._pins[manifest_id],
+            )
             return Snapshot(self, manifest)
 
     def release(self, manifest_id: int) -> None:
@@ -486,6 +497,11 @@ class ManifestStore:
             else:
                 self._pins[manifest_id] = count - 1
             self.metrics.gauge("mvcc.pinned_snapshots", sum(self._pins.values()))
+            emit_event(
+                self.metrics, "snapshot.unpin", table=self.table,
+                manifest_id=manifest_id,
+                pins=self._pins.get(manifest_id, 0),
+            )
             if self._pins.get(manifest_id, 0) > 0:
                 return
             if manifest_id != self.current.manifest_id:
@@ -516,6 +532,10 @@ class ManifestStore:
             self._segment_refs.pop(sid, None)
             version = manifest.version(sid)
             self.metrics.incr("mvcc.segments_retired")
+            emit_event(
+                self.metrics, "manifest.retire", table=self.table,
+                manifest_id=manifest_id, segment_id=sid,
+            )
             for hook in self._retire_hooks:
                 hook(version.segment, version.index_key)
 

@@ -234,8 +234,8 @@ class TestAdmissionControl:
     def test_queue_depth_metric_recorded(self):
         engine = self.make_cluster(worker_cores=1)
         self.run_one(engine)
-        recorder = engine.metrics.latency("warehouse.queue_depth")
-        assert recorder.count > 0
+        gauge = engine.metrics.sampled("warehouse.queue_depth")
+        assert gauge.count > 0
         # 8 segments over 2 single-core workers: scans beyond the lane
         # queue, and the counter tracks how many waited.
         assert engine.metrics.count("warehouse.scans_queued") > 0

@@ -7,6 +7,7 @@ import pytest
 
 from repro.core.database import BlendHouse, ExplainResult
 from repro.observe.export import MetricsExporter
+from repro.observe.profile import PROFILER, PhaseStat, Profiler, maybe_profile
 from repro.observe.trace import Span, Tracer, maybe_span
 from repro.simulate.metrics import MetricRegistry
 
@@ -254,3 +255,147 @@ class TestExplainAnalyze:
         assert exporter.counter("plan_cache.hits") == 1
         assert exporter.as_dict()["last_trace"]["name"] == "query"
         assert "plan_cache_hits_total 1" in exporter.render()
+
+
+class TestExporterAccessors:
+    def test_counter_avoids_full_snapshot(self):
+        registry = MetricRegistry()
+        registry.incr("hits", 3)
+        exporter = MetricsExporter(registry)
+        assert exporter.counter("hits") == 3
+
+    def test_gauge_prefers_sampled_values(self):
+        registry = MetricRegistry()
+        registry.gauge("depth", 9)       # counter-style gauge
+        registry.sample("depth", 4.0)    # sampled gauge wins
+        exporter = MetricsExporter(registry)
+        assert exporter.gauge("depth") == pytest.approx(4.0)
+
+    def test_gauge_falls_back_to_counters_then_default(self):
+        registry = MetricRegistry()
+        registry.gauge("manifest_id", 12)
+        exporter = MetricsExporter(registry)
+        assert exporter.gauge("manifest_id") == 12
+        assert exporter.gauge("absent") == 0.0
+        assert exporter.gauge("absent", default=-1.0) == -1.0
+
+
+class TestObserveSettings:
+    def test_set_trace_max_roots_applies_live(self):
+        db = _seeded_db(rows=40)
+        db.execute("SET trace_max_roots = 2")
+        assert db.tracer.max_roots == 2
+        for _ in range(3):
+            db.execute(_hybrid_sql())
+        assert len(db.tracer.roots) <= 2
+        # Ingest + three queries produced more than two roots: the
+        # overflow is visible as a counter, not silently vanished.
+        assert db.tracer.roots_dropped > 0
+        assert db.export_metrics().counter("trace.roots_dropped") == (
+            db.tracer.roots_dropped
+        )
+
+    def test_set_slowlog_knobs_apply_live(self):
+        db = _seeded_db(rows=40)
+        db.execute("SET slowlog_threshold_ms = 0.25")
+        db.execute("SET slowlog_sample_every = 7")
+        assert db.slowlog.threshold_s == pytest.approx(2.5e-4)
+        assert db.slowlog.sample_every == 7
+
+
+class TestShowSlowQueries:
+    def test_slow_query_is_captured_and_shown(self):
+        db = _seeded_db(rows=60)
+        db.execute("SET slowlog_threshold_ms = 0")  # record everything
+        db.execute(_hybrid_sql())
+        report = db.execute("SHOW SLOW QUERIES")
+        assert report.records, "threshold 0 must capture the query"
+        record = report.records[0]
+        assert record.reason == "slow"
+        assert record.sql == _hybrid_sql()
+        assert record.manifest_id is not None
+        assert record.plan["strategy"]
+        text = report.render()
+        assert "slow queries:" in text and "SELECT id, dist" in text
+
+    def test_limit_caps_rendered_records(self):
+        db = _seeded_db(rows=60)
+        db.execute("SET slowlog_threshold_ms = 0")
+        for _ in range(4):
+            db.execute(_hybrid_sql())
+        limited = db.execute("SHOW SLOW QUERIES LIMIT 2")
+        assert len(limited.records) == 2
+        assert limited.total_recorded >= 4
+        # The newest records survive the limit.
+        full = db.execute("SHOW SLOW QUERIES")
+        assert [r.query_id for r in limited.records] == [
+            r.query_id for r in full.records[-2:]
+        ]
+
+    def test_empty_log_renders_placeholder(self):
+        db = _seeded_db(rows=40)
+        report = db.execute("SHOW SLOW QUERIES")
+        assert report.records == []
+        assert "0 shown" in report.render() or "no slow queries" in report.render()
+
+    def test_malformed_show_raises(self):
+        from repro.errors import ParseError
+        db = _seeded_db(rows=40)
+        with pytest.raises(ParseError):
+            db.execute("SHOW FAST QUERIES")
+
+
+class TestProfiler:
+    def test_phase_stat_overhead_factor(self):
+        stat = PhaseStat(real_s=0.2, sim_s=0.1, calls=3)
+        assert stat.as_dict()["overhead_x"] == pytest.approx(2.0)
+        assert PhaseStat(real_s=0.2).as_dict()["overhead_x"] is None
+
+    def test_phase_context_accumulates_real_and_sim(self, clock):
+        profiler = Profiler(enabled=True)
+        with profiler.phase("scan", clock):
+            clock.advance(0.5)
+        with profiler.phase("scan", clock):
+            clock.advance(0.25)
+        stat = profiler.phases()["scan"]
+        assert stat.calls == 2
+        assert stat.sim_s == pytest.approx(0.75)
+        assert stat.real_s > 0
+
+    def test_report_totals_and_render(self, clock):
+        profiler = Profiler(enabled=True)
+        with profiler.phase("plan", clock):
+            clock.advance(0.1)
+        profiler.add("pure_python", real_s=0.01)
+        report = profiler.report()
+        assert set(report["phases"]) == {"plan", "pure_python"}
+        assert report["total_sim_s"] == pytest.approx(0.1)
+        assert report["phases"]["pure_python"]["overhead_x"] is None
+        assert "plan" in profiler.render()
+        profiler.reset()
+        assert profiler.render() == "profile: (no phases recorded)"
+
+    def test_maybe_profile_is_shared_noop_when_disabled(self):
+        was_enabled = PROFILER.enabled
+        PROFILER.disable()
+        try:
+            first = maybe_profile("anything")
+            second = maybe_profile("other")
+            assert first is second  # the shared null context
+            with first:
+                pass
+        finally:
+            PROFILER.enabled = was_enabled
+
+    def test_engine_hot_paths_record_phases_when_enabled(self):
+        db = _seeded_db(rows=60)
+        PROFILER.reset()
+        PROFILER.enable()
+        try:
+            db.execute(_hybrid_sql())
+        finally:
+            PROFILER.disable()
+        phases = PROFILER.phases()
+        assert "select.plan" in phases and "select.execute" in phases
+        assert phases["select.execute"].sim_s > 0
+        PROFILER.reset()

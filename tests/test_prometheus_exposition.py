@@ -1,0 +1,164 @@
+"""Prometheus text exposition correctness for ``MetricRegistry.render``.
+
+A scrape endpoint that emits malformed names, unescaped labels, or
+non-cumulative buckets fails silently at the monitoring layer — the
+engine looks healthy while every dashboard is empty.  These tests pin
+the exposition contract: name sanitization of the repo's dotted metric
+names, label-value escaping, summary/histogram series shape, bucket
+cumulativity, and the empty-registry render.
+"""
+
+import pytest
+
+from repro.simulate.metrics import (
+    Histogram,
+    MetricRegistry,
+    _prom_label_value,
+    _prom_name,
+)
+
+
+def parse_exposition(text):
+    """Exposition text → ({series_with_labels: value}, {(name, type)}).
+
+    Types are a set of pairs because ``record_latency`` legitimately
+    exposes the same base name as both a summary and a histogram.
+    """
+    values, types = {}, set()
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            types.add((name, kind))
+            continue
+        assert not line.startswith("#"), f"unexpected comment: {line}"
+        series, value = line.rsplit(" ", 1)
+        values[series] = float(value)
+    return values, types
+
+
+class TestNameSanitization:
+    def test_dotted_names_become_underscores(self):
+        assert _prom_name("serving.queue_depth") == "serving_queue_depth"
+        assert _prom_name("slo.interactive_latency.fast_burn") == (
+            "slo_interactive_latency_fast_burn"
+        )
+
+    def test_every_non_alnum_character_is_mangled(self):
+        assert _prom_name("cache/memory-hits %") == "cache_memory_hits__"
+
+    def test_leading_digit_gets_prefixed(self):
+        assert _prom_name("99th.latency") == "_99th_latency"
+
+    def test_already_clean_names_pass_through(self):
+        assert _prom_name("wal_flushes_total") == "wal_flushes_total"
+
+    def test_render_applies_sanitization_to_counters(self):
+        registry = MetricRegistry()
+        registry.incr("serving.admitted")
+        values, types = parse_exposition(registry.render())
+        assert values["serving_admitted_total"] == 1
+        assert ("serving_admitted_total", "counter") in types
+
+
+class TestLabelEscaping:
+    def test_plain_value_is_quoted(self):
+        assert _prom_label_value("min") == '"min"'
+
+    def test_backslash_quote_and_newline_are_escaped(self):
+        assert _prom_label_value('a\\b"c\nd') == '"a\\\\b\\"c\\nd"'
+
+    def test_non_string_values_coerce(self):
+        assert _prom_label_value(42) == '"42"'
+
+
+class TestCounterAndSampleSeries:
+    def test_counter_renders_total_suffix(self):
+        registry = MetricRegistry()
+        registry.incr("wal.flushes", 3)
+        values, _ = parse_exposition(registry.render())
+        assert values["wal_flushes_total"] == 3
+
+    def test_sampled_gauge_series(self):
+        registry = MetricRegistry()
+        for depth in (2, 8, 5):
+            registry.sample("serving.queue_depth", depth)
+        values, types = parse_exposition(registry.render())
+        assert ("serving_queue_depth", "gauge") in types
+        assert values["serving_queue_depth"] == 5  # last observation
+        assert values['serving_queue_depth{stat="min"}'] == 2
+        assert values['serving_queue_depth{stat="max"}'] == 8
+        assert values['serving_queue_depth{stat="mean"}'] == 5
+        assert values["serving_queue_depth_samples_count"] == 3
+
+    def test_latency_summary_series(self):
+        registry = MetricRegistry()
+        for value in (0.01, 0.02, 0.03, 0.04):
+            registry.record_latency("query.latency", value)
+        values, types = parse_exposition(registry.render())
+        # record_latency feeds a recorder AND a histogram: both TYPE
+        # families render under the same base name.
+        assert ("query_latency_seconds", "summary") in types
+        assert ("query_latency_seconds", "histogram") in types
+        for quantile in ("0.5", "0.95", "0.99"):
+            assert f'query_latency_seconds{{quantile="{quantile}"}}' in values
+        assert values["query_latency_seconds_sum"] == pytest.approx(0.10)
+        assert values["query_latency_seconds_count"] == 4
+
+
+class TestHistogramBuckets:
+    def test_buckets_are_cumulative_and_capped_by_inf(self):
+        registry = MetricRegistry()
+        histogram = registry.histogram("scan.time")
+        for value in (1e-6, 5e-6, 5e-6, 1e-3, 50.0):
+            histogram.observe(value)
+        values, types = parse_exposition(registry.render())
+        assert ("scan_time_seconds", "histogram") in types
+
+        buckets = [
+            (float(series.split('le="')[1].rstrip('"}')), count)
+            for series, count in values.items()
+            if series.startswith("scan_time_seconds_bucket") and "+Inf" not in series
+        ]
+        buckets.sort()
+        counts = [count for _, count in buckets]
+        # Cumulativity: each bucket includes everything below it.
+        assert counts == sorted(counts)
+        assert values['scan_time_seconds_bucket{le="+Inf"}'] == 5
+        assert counts[-1] <= 5
+        assert values["scan_time_seconds_count"] == 5
+        assert values["scan_time_seconds_sum"] == pytest.approx(
+            histogram.total
+        )
+
+    def test_every_finite_bound_renders_one_bucket(self):
+        registry = MetricRegistry()
+        registry.histogram("h").observe(1e-5)
+        values, _ = parse_exposition(registry.render())
+        finite = [s for s in values
+                  if s.startswith("h_seconds_bucket") and "+Inf" not in s]
+        assert len(finite) == len(Histogram.DEFAULT_BOUNDS)
+
+
+class TestRenderEdges:
+    def test_empty_registry_renders_empty_string(self):
+        assert MetricRegistry().render() == ""
+
+    def test_unobserved_series_are_omitted(self):
+        registry = MetricRegistry()
+        registry.latency("touched.but_empty")  # recorder with no values
+        registry.histogram("also.empty")
+        registry.sampled("empty.gauge")
+        assert registry.render() == ""
+
+    def test_render_output_is_line_parseable(self):
+        registry = MetricRegistry()
+        registry.incr("a.b")
+        registry.sample("c.d", 1.0)
+        registry.record_latency("e.f", 0.5)
+        registry.histogram("g.h").observe(0.5)
+        # Every non-comment line must be "<series> <float>".
+        values, types = parse_exposition(registry.render())
+        # counter + gauge + (summary & histogram for e.f) + histogram.
+        assert values and len(types) == 5
