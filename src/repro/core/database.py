@@ -26,7 +26,8 @@ Session settings mirror the paper's ablation switches::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import os
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -113,6 +114,15 @@ class EngineSettings:
     # cores (and real threads).  1 = strictly serial execution; results
     # are byte-identical either way, only simulated wall-time changes.
     parallel_workers: int = 1
+    # Where per-segment scans execute: 'thread' runs them on the calling
+    # thread / thread fan-out; 'process' ships them to the persistent
+    # spawn-started worker pool (repro.executor.procpool) over shared
+    # memory, escaping the GIL for python-heavy index traversals.
+    # Results are byte-identical in both modes.  Defaults from the
+    # REPRO_EXECUTOR environment variable.
+    executor_mode: str = field(
+        default_factory=lambda: os.environ.get("REPRO_EXECUTOR", "thread")
+    )
     # Tracer root retention (SET trace_max_roots): completed query trees
     # kept for EXPLAIN ANALYZE / the flight recorder before the oldest
     # fall off (counted in ``trace.roots_dropped``).
@@ -150,6 +160,14 @@ class EngineSettings:
             return
         if key == "slowlog_threshold_ms":
             self.slowlog_threshold_ms = float(value)
+            return
+        if key == "executor_mode":
+            text = str(value).lower()
+            if text not in ("thread", "process"):
+                raise SQLError(
+                    f"executor_mode must be 'thread' or 'process', got {value!r}"
+                )
+            self.executor_mode = text
             return
         if key == "forced_strategy":
             text = str(value).lower()
@@ -290,6 +308,10 @@ class BlendHouse:
         self._tables: Dict[str, TableRuntime] = {}
         self.last_recovery: Optional[RecoveryReport] = None
         self._durability = DurabilityManager(self, durability)
+        # Tests attach a private ProcessScanPool here (crash injection,
+        # bounded-size pools); None means executor_mode='process' uses
+        # the process-wide shared pool.
+        self._scan_pool_override: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Table access
@@ -677,7 +699,25 @@ class BlendHouse:
             tracer=self.tracer,
             manifest_id=manifest_id,
             cancel=cancel,
+            scan_pool=self._scan_pool_or_none(),
         )
+
+    def _scan_pool_or_none(self) -> Optional[Any]:
+        """The process scan pool when ``executor_mode='process'``.
+
+        Lazy import keeps single-process deployments free of any
+        multiprocessing machinery; the shared pool is sized to at least
+        the configured ``parallel_workers`` lanes and its metric/event
+        sink rebinds to this engine.
+        """
+        if self.settings.executor_mode != "process":
+            return None
+        if self._scan_pool_override is not None:
+            return self._scan_pool_override
+        from repro.executor.procpool import DEFAULT_POOL_WORKERS, shared_pool
+
+        workers = max(DEFAULT_POOL_WORKERS, self.settings.parallel_workers)
+        return shared_pool(workers=workers, metrics=self.metrics)
 
     def _select_segments(
         self, runtime: TableRuntime, plan: PhysicalPlan,

@@ -175,6 +175,11 @@ def execute_plan_on_segments_parallel(
 
     start = ctx.clock.now
     lanes = config.effective_workers(len(segments))
+    if ctx.scan_pool is not None:
+        # Process plane: fan the segments out across worker processes.
+        # Simulated time still packs onto ``lanes`` simulated cores, so
+        # thread and process modes report identical makespans.
+        return _fan_out_process(plan, segments, bitmaps, ctx, lanes, start)
     resolve_lock = threading.Lock()
     resolve = _locked_resolver(ctx, resolve_lock)
     task_metrics = [MetricRegistry() for _ in segments]
@@ -221,6 +226,46 @@ def execute_plan_on_segments_parallel(
             fan_span.set_tag("makespan_s", round(makespan, 9))
         ctx.clock.advance(makespan)
     ctx.metrics.incr("parallel.fanouts")
+    ctx.metrics.incr("parallel.segments_scanned", len(segments))
+    ctx.metrics.record_latency("parallel.makespan", makespan)
+
+    result = merge_ordered(plan, list(partials), ctx, len(segments))
+    result.simulated_seconds = ctx.clock.elapsed_since(start)
+    return result
+
+
+def _fan_out_process(
+    plan: PhysicalPlan,
+    segments: List[Segment],
+    bitmaps: Dict[str, DeleteBitmap],
+    ctx: ExecContext,
+    lanes: int,
+    start: float,
+) -> QueryResult:
+    """Process-pool counterpart of the threaded fan-out body.
+
+    ``scan_many`` returns partials and captured per-segment costs in
+    input order and merges worker metrics in input order after the join,
+    so everything downstream (post-hoc spans, LPT makespan, stable
+    merge) is shared verbatim with the thread path.
+    """
+    with maybe_profile("parallel.fanout", ctx.clock), \
+            maybe_span(ctx.tracer, "parallel_fanout",
+                       segments=len(segments), workers=lanes) as fan_span:
+        partials, costs = ctx.scan_pool.scan_many(plan, segments, bitmaps, ctx)
+        for position, segment in enumerate(segments):
+            with maybe_span(ctx.tracer, "segment_scan",
+                            segment=segment.segment_id,
+                            strategy=plan.strategy.value) as span:
+                if span is not None:
+                    span.set_tag("rows", int(partials[position].offsets.size))
+                    span.set_tag("cost_s", round(costs[position], 9))
+        makespan = lane_makespan(costs, lanes)
+        if fan_span is not None:
+            fan_span.set_tag("makespan_s", round(makespan, 9))
+        ctx.clock.advance(makespan)
+    ctx.metrics.incr("parallel.fanouts")
+    ctx.metrics.incr("parallel.process_fanouts")
     ctx.metrics.incr("parallel.segments_scanned", len(segments))
     ctx.metrics.record_latency("parallel.makespan", makespan)
 

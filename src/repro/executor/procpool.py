@@ -1,0 +1,679 @@
+"""Persistent process pool for segment scans (the GIL escape hatch).
+
+The thread fan-out in :mod:`repro.executor.parallel` overlaps only the
+numpy inner kernels; every python-level loop (graph traversal, probe
+selection, post-filter batches) serializes on the GIL.  This module runs
+per-segment scans in *worker processes* instead:
+
+* Workers are persistent and spawn-started (safe with the engine's
+  threads); each holds an **attach cache** keyed by
+  ``(segment_id, manifest_id, block token, has_index)`` so a segment's
+  shared-memory vector block is mapped once and its index deserialized
+  once, then reused across queries.
+* Scan requests ship **pickled scan specs, never vectors**: the plan,
+  the delete bitmap, the cost model, and a
+  :class:`~repro.storage.sharedblock.SharedBlockSpec` attach handle.
+  Vector payloads cross the process boundary zero-copy through
+  ``multiprocessing.shared_memory``.
+* Simulated-time accounting is preserved: the worker runs the scan
+  under a private :class:`~repro.simulate.clock.SimulatedClock` capture
+  and returns the charged cost, which the parent feeds into the same
+  LPT :func:`~repro.executor.parallel.lane_makespan` packing the thread
+  path uses.  Results stay byte-identical — same kernels, same inputs,
+  same ``(distance, segment_id, offset)`` merge.
+* ``CancelToken`` semantics survive the boundary: the pool holds a
+  shared ``multiprocessing.Event`` cancel flag; the parent sets it when
+  its token fires and workers check it between segments (each scan
+  request is one segment), acknowledging with a ``cancelled`` reply.
+* Crashes are contained: a worker dying mid-scan (OOM, segfault, the
+  ``WORKER_CRASH`` fault lever) is detected on its pipe, the process is
+  replaced, the segment retried on the fresh worker, and
+  ``worker.crash`` / ``worker.respawn`` events are emitted through
+  :func:`repro.observe.events.emit_event`.
+
+Providers that are not plain :class:`~repro.vindex.api.VectorIndex`
+instances (e.g. the cluster tier's ``RemoteSearchProvider``, which wraps
+live RPC state) cannot be shipped; those scans transparently fall back
+to in-process execution with identical results.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import threading
+import traceback
+import weakref
+from collections import OrderedDict, deque
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ExecutionError, QueryCancelledError
+from repro.executor.columnio import ColumnReader, ReadOptConfig
+from repro.executor.pipeline import ExecContext, PartialResult, _execute_segment
+from repro.observe.events import emit_event
+from repro.observe.trace import maybe_span
+from repro.planner.cost import CostModelParams
+from repro.planner.optimizer import ExecutionStrategy, PhysicalPlan
+from repro.simulate.clock import SimulatedClock
+from repro.simulate.costmodel import DeviceCostModel
+from repro.simulate.metrics import MetricRegistry
+from repro.storage.deletebitmap import DeleteBitmap
+from repro.storage.segment import Segment
+from repro.storage.sharedblock import SharedVectorBlock
+from repro.vindex.api import VectorIndex, get_kernel_mode, set_kernel_mode
+from repro.vindex.registry import deserialize_index, serialize_index
+
+DEFAULT_POOL_WORKERS = 2
+# Payload entries a worker keeps mapped before evicting LRU-first.
+WORKER_CACHE_ENTRIES = 64
+# Attempts per segment before a repeatedly crashing scan is abandoned.
+MAX_SCAN_ATTEMPTS = 3
+
+
+@dataclass
+class ScanSpec:
+    """One segment scan, fully described without vector payloads."""
+
+    plan: PhysicalPlan
+    bitmap: Optional[DeleteBitmap]
+    cost: DeviceCostModel
+    params: CostModelParams
+    read_config: ReadOptConfig
+    manifest_id: Optional[int]
+    kernel_mode: str
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _install_payload(
+    payload: Dict[str, Any], clock: SimulatedClock
+) -> Tuple[Optional[SharedVectorBlock], Segment, Optional[VectorIndex]]:
+    """Materialize a shipped segment payload inside the worker."""
+    spec = payload["vector_spec"]
+    if spec is not None:
+        block = SharedVectorBlock.attach(spec)
+        vectors = block.view()
+    else:
+        block = None
+        vectors = payload["vectors_inline"]
+    segment = Segment(payload["meta"], payload["scalars"], vectors)
+    provider: Optional[VectorIndex] = None
+    if payload["index_payload"] is not None:
+        provider = deserialize_index(payload["index_payload"])
+        refiner_setter = getattr(provider, "set_refiner", None)
+        if callable(refiner_setter):
+            refiner_setter(lambda ids: segment.vectors_at(ids))
+        # Mirror the parent's hook state exactly: a freshly *built*
+        # index charges no per-search disk reads (its io_charger is
+        # unset), so the worker copy must not either — simulated time
+        # stays identical between the two planes.
+        if payload["attach_io_charger"]:
+            io_setter = getattr(provider, "set_io_charger", None)
+            if callable(io_setter):
+                cost = payload["cost"]
+                io_setter(
+                    lambda nbytes: clock.advance(cost.disk_read(nbytes))
+                )
+    return block, segment, provider
+
+
+def _run_scan(
+    spec: ScanSpec,
+    segment: Segment,
+    provider: Optional[VectorIndex],
+    clock: SimulatedClock,
+) -> Tuple[np.ndarray, Optional[np.ndarray], float, MetricRegistry]:
+    """Execute one scan under a cost capture on the worker's clock."""
+    if get_kernel_mode() != spec.kernel_mode:
+        set_kernel_mode(spec.kernel_mode)
+    metrics = MetricRegistry()
+    reader = ColumnReader(clock, spec.cost, metrics, spec.read_config)
+    ctx = ExecContext(
+        clock=clock,
+        cost=spec.cost,
+        params=spec.params,
+        reader=reader,
+        resolve_index=lambda _segment: provider,
+        metrics=metrics,
+        tracer=None,
+        manifest_id=spec.manifest_id,
+    )
+    with clock.capturing() as captured:
+        partial = _execute_segment(spec.plan, segment, spec.bitmap, ctx)
+    return partial.offsets, partial.distances, captured.total, metrics
+
+
+def _worker_main(conn, cancel_flag) -> None:
+    """Worker loop: attach-cache + scan dispatch over one duplex pipe."""
+    clock = SimulatedClock()
+    cache: "OrderedDict[Any, Tuple[Any, Segment, Optional[VectorIndex]]]" = (
+        OrderedDict()
+    )
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = message[0]
+            if kind == "shutdown":
+                break
+            if kind == "ping":
+                conn.send(("pong",))
+                continue
+            if kind != "scan":  # pragma: no cover - protocol guard
+                conn.send(("error", None, "protocol", f"unknown {kind!r}", ""))
+                continue
+            _, req_id, key, payload, spec = message
+            if cancel_flag.is_set():
+                conn.send(("cancelled", req_id))
+                continue
+            try:
+                entry = cache.get(key)
+                if entry is None:
+                    if payload is None:
+                        conn.send(("need_payload", req_id))
+                        continue
+                    entry = _install_payload(payload, clock)
+                    cache[key] = entry
+                    while len(cache) > WORKER_CACHE_ENTRIES:
+                        _evict_key, (old_block, _s, _p) = cache.popitem(last=False)
+                        if old_block is not None:
+                            old_block.close()
+                cache.move_to_end(key)
+                _block, segment, provider = entry
+                offsets, distances, cost, metrics = _run_scan(
+                    spec, segment, provider, clock
+                )
+                conn.send(("ok", req_id, offsets, distances, cost, metrics))
+            except BaseException as exc:  # noqa: BLE001 - shipped to parent
+                conn.send((
+                    "error", req_id, type(exc).__name__, str(exc),
+                    traceback.format_exc(limit=8),
+                ))
+    finally:
+        for _key, (block, _segment, _provider) in cache.items():
+            if block is not None:
+                block.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+# ----------------------------------------------------------------------
+# Parent-side pool
+# ----------------------------------------------------------------------
+class _WorkerHandle:
+    """Parent bookkeeping for one worker process."""
+
+    def __init__(self, slot: int, process, conn) -> None:
+        self.slot = slot
+        self.process = process
+        self.conn = conn
+        # Payload cache keys this worker is known to hold; cleared on
+        # respawn (the replacement starts with an empty attach cache).
+        self.shipped: set = set()
+        self.lock = threading.Lock()
+
+
+class ProcessScanPool:
+    """Persistent spawn-started worker pool executing segment scans."""
+
+    def __init__(
+        self,
+        workers: int = DEFAULT_POOL_WORKERS,
+        metrics: Optional[MetricRegistry] = None,
+        start_method: str = "spawn",
+    ) -> None:
+        self.metrics = metrics or MetricRegistry()
+        self._ctx = multiprocessing.get_context(start_method)
+        self._cancel_flag = self._ctx.Event()
+        self._workers: List[_WorkerHandle] = []
+        self._lock = threading.Lock()
+        self._resolve_lock = threading.Lock()
+        self._req_seq = 0
+        self._rr = 0
+        self._active = 0
+        self._crash_budget = 0
+        self._closed = False
+        # Serialized index bytes memoized per provider object (weak so a
+        # retired index's payload dies with it).
+        self._index_bytes: "weakref.WeakKeyDictionary[Any, bytes]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self.crashes = 0
+        self.respawns = 0
+        for slot in range(max(1, int(workers))):
+            self._workers.append(self._spawn(slot))
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self._workers)
+
+    @property
+    def alive(self) -> bool:
+        return not self._closed
+
+    def worker_pids(self) -> List[int]:
+        """Live worker process ids (introspection / tests)."""
+        return [handle.process.pid for handle in self._workers]
+
+    def _spawn(self, slot: int) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._cancel_flag),
+            name=f"bh-scan-{slot}",
+            daemon=True,
+        )
+        process.start()
+        # The parent must drop its handle on the child end, or a dead
+        # worker's pipe never reaches EOF and crashes go undetected.
+        child_conn.close()
+        return _WorkerHandle(slot, process, parent_conn)
+
+    def grow(self, workers: int) -> None:
+        """Add workers until the pool has at least ``workers``."""
+        with self._lock:
+            while len(self._workers) < workers:
+                self._workers.append(self._spawn(len(self._workers)))
+
+    def shutdown(self) -> None:
+        """Stop every worker and close their pipes."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._workers:
+            try:
+                handle.conn.send(("shutdown",))
+            except (OSError, BrokenPipeError):
+                pass
+        for handle in self._workers:
+            handle.process.join(timeout=5)
+            if handle.process.is_alive():  # pragma: no cover - stuck worker
+                handle.process.kill()
+                handle.process.join(timeout=5)
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._workers = []
+
+    # ------------------------------------------------------------------
+    # Fault injection (WORKER_CRASH lever)
+    # ------------------------------------------------------------------
+    def inject_crash(self, times: int = 1) -> None:
+        """Arm the pool to kill a live worker mid-scan ``times`` times."""
+        with self._lock:
+            self._crash_budget += int(times)
+
+    def _maybe_inject_crash(self, handle: _WorkerHandle) -> None:
+        with self._lock:
+            if self._crash_budget <= 0:
+                return
+            self._crash_budget -= 1
+        handle.process.kill()
+
+    # ------------------------------------------------------------------
+    # Crash handling
+    # ------------------------------------------------------------------
+    def _respawn(self, handle: _WorkerHandle) -> None:
+        dead_pid = handle.process.pid
+        self.crashes += 1
+        self.metrics.incr("procpool.worker_crashes")
+        emit_event(
+            self.metrics, "worker.crash", worker=handle.slot, pid=dead_pid
+        )
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        handle.process.join(timeout=5)
+        fresh = self._spawn(handle.slot)
+        handle.process = fresh.process
+        handle.conn = fresh.conn
+        handle.shipped.clear()
+        self.respawns += 1
+        self.metrics.incr("procpool.worker_respawns")
+        emit_event(
+            self.metrics, "worker.respawn",
+            worker=handle.slot, pid=handle.process.pid, replaced=dead_pid,
+        )
+
+    @staticmethod
+    def _recv(handle: _WorkerHandle):
+        """Receive a reply, detecting worker death while waiting."""
+        while True:
+            if handle.conn.poll(0.05):
+                return handle.conn.recv()
+            if not handle.process.is_alive():
+                # Drain anything flushed before death, then report EOF.
+                if handle.conn.poll(0):
+                    return handle.conn.recv()
+                raise EOFError(f"scan worker {handle.slot} died")
+
+    # ------------------------------------------------------------------
+    # Payload shipping
+    # ------------------------------------------------------------------
+    def _payload_key(
+        self, segment: Segment, manifest_id: Optional[int], has_index: bool
+    ) -> Tuple[str, Optional[int], str, bool]:
+        spec = segment.shared_spec
+        token = spec.name if spec is not None else f"inline-{id(segment)}"
+        return (segment.segment_id, manifest_id, token, has_index)
+
+    def _build_payload(
+        self, segment: Segment, provider: Optional[VectorIndex]
+    ) -> Dict[str, Any]:
+        spec = segment.shared_spec
+        index_payload: Optional[bytes] = None
+        if provider is not None:
+            index_payload = self._index_bytes.get(provider)
+            if index_payload is None:
+                index_payload = serialize_index(provider)
+                self._index_bytes[provider] = index_payload
+        return {
+            "meta": segment.meta,
+            "scalars": {
+                name: segment.scalar_column(name)
+                for name in segment.scalar_column_names
+            },
+            "vector_spec": spec,
+            "vectors_inline": None if spec is not None else segment.vectors(),
+            "index_payload": index_payload,
+            "attach_io_charger": (
+                getattr(provider, "_io_charger", None) is not None
+            ),
+            "cost": None,  # filled by the caller (per-engine cost model)
+        }
+
+    # ------------------------------------------------------------------
+    # Scan execution
+    # ------------------------------------------------------------------
+    def _begin(self, cancel) -> None:
+        with self._lock:
+            if self._active == 0 and not (
+                cancel is not None and cancel.cancelled
+            ):
+                # New query epoch: clear a stale cancel flag left over
+                # from the previous (cancelled) query.
+                self._cancel_flag.clear()
+            self._active += 1
+
+    def _end(self) -> None:
+        with self._lock:
+            self._active -= 1
+
+    def _next_slot(self) -> _WorkerHandle:
+        with self._lock:
+            handle = self._workers[self._rr % len(self._workers)]
+            self._rr += 1
+            return handle
+
+    def _resolve(
+        self, plan: PhysicalPlan, segment: Segment, ctx: ExecContext
+    ) -> Tuple[Optional[Any], float]:
+        """Parent-side index resolution, charged exactly like the thread
+        path (inside the task's cost capture, against engine metrics)."""
+        needs_index = (
+            plan.use_index
+            and plan.strategy is not ExecutionStrategy.SCALAR_ONLY
+            and plan.logical.distance is not None
+        )
+        if not needs_index:
+            return None, 0.0
+        with ctx.clock.capturing() as captured:
+            with self._resolve_lock:
+                with maybe_span(ctx.tracer, "index_resolve",
+                                segment=segment.segment_id):
+                    provider = ctx.resolve_index(segment)
+        return provider, captured.total
+
+    def scan_segment(
+        self,
+        plan: PhysicalPlan,
+        segment: Segment,
+        bitmap: Optional[DeleteBitmap],
+        ctx: ExecContext,
+    ) -> Tuple[PartialResult, float, Optional[MetricRegistry]]:
+        """Run one segment scan on a worker process.
+
+        Returns ``(partial, charged_cost, worker_metrics)`` without
+        touching the shared clock; the caller decides how cost becomes
+        simulated time (serial advance or LPT makespan).
+        ``worker_metrics`` is None when the scan fell back in-process
+        (its charges already landed on ``ctx.metrics``).
+        """
+        if ctx.cancel is not None and ctx.cancel.cancelled:
+            self._cancel_flag.set()
+            ctx.cancel.raise_if_cancelled()
+        provider, resolve_cost = self._resolve(plan, segment, ctx)
+        if provider is not None and not isinstance(provider, VectorIndex):
+            # Live-state providers (serving RPC wrappers) cannot cross
+            # the process boundary; execute in-process, same results.
+            task_ctx = replace(
+                ctx, resolve_index=lambda _segment: provider, tracer=None,
+                scan_pool=None,
+            )
+            with ctx.clock.capturing() as captured:
+                partial = _execute_segment(plan, segment, bitmap, task_ctx)
+            self.metrics.incr("procpool.inprocess_fallbacks")
+            return partial, resolve_cost + captured.total, None
+
+        try:
+            spec = segment.ensure_shared()
+        except Exception:  # pragma: no cover - no shm and no tmpdir
+            spec = None
+        del spec  # the payload reads segment.shared_spec directly
+        scan_spec = ScanSpec(
+            plan=plan,
+            bitmap=bitmap,
+            cost=ctx.cost,
+            params=ctx.params,
+            read_config=ctx.reader.config,
+            manifest_id=ctx.manifest_id,
+            kernel_mode=get_kernel_mode(),
+        )
+        key = self._payload_key(segment, ctx.manifest_id, provider is not None)
+        handle = self._next_slot()
+        offsets, distances, worker_cost, worker_metrics = self._dispatch(
+            handle, key, scan_spec, segment, provider, ctx,
+        )
+        partial = PartialResult(segment, offsets, distances)
+        return partial, resolve_cost + worker_cost, worker_metrics
+
+    def _dispatch(
+        self,
+        handle: _WorkerHandle,
+        key: Tuple[Any, ...],
+        spec: ScanSpec,
+        segment: Segment,
+        provider: Optional[VectorIndex],
+        ctx: ExecContext,
+    ):
+        attempts = 0
+        force_payload = False
+        while True:
+            attempts += 1
+            with self._lock:
+                self._req_seq += 1
+                req_id = self._req_seq
+            with handle.lock:
+                payload = None
+                if force_payload or key not in handle.shipped:
+                    payload = self._build_payload(segment, provider)
+                    payload["cost"] = ctx.cost
+                try:
+                    handle.conn.send(("scan", req_id, key, payload, spec))
+                    self._maybe_inject_crash(handle)
+                    reply = self._recv(handle)
+                except (EOFError, OSError, BrokenPipeError):
+                    self._respawn(handle)
+                    if attempts >= MAX_SCAN_ATTEMPTS:
+                        raise ExecutionError(
+                            f"segment {segment.segment_id!r} crashed the scan "
+                            f"worker {attempts} times; giving up"
+                        ) from None
+                    force_payload = False
+                    continue
+                if payload is not None:
+                    handle.shipped.add(key)
+            kind = reply[0]
+            if kind == "ok":
+                _, _req, offsets, distances, cost, metrics = reply
+                self.metrics.incr("procpool.scans")
+                return offsets, distances, cost, metrics
+            if kind == "need_payload":
+                # The worker lost the entry (eviction); re-ship once.
+                with handle.lock:
+                    handle.shipped.discard(key)
+                force_payload = True
+                continue
+            if kind == "cancelled":
+                raise QueryCancelledError("query cancelled during segment scan")
+            if kind == "error":
+                _, _req, exc_type, exc_text, exc_tb = reply
+                raise ExecutionError(
+                    f"scan worker failed on segment {segment.segment_id!r}: "
+                    f"{exc_type}: {exc_text}\n{exc_tb}"
+                )
+            raise ExecutionError(  # pragma: no cover - protocol guard
+                f"unexpected scan worker reply {kind!r}"
+            )
+
+    def scan_one(
+        self,
+        plan: PhysicalPlan,
+        segment: Segment,
+        bitmap: Optional[DeleteBitmap],
+        ctx: ExecContext,
+    ) -> Tuple[PartialResult, float]:
+        """One segment scan with the worker's metrics folded in; used by
+        the serial path, the warehouse worker loop, and staged SELECT."""
+        self._begin(ctx.cancel)
+        try:
+            partial, cost, worker_metrics = self.scan_segment(
+                plan, segment, bitmap, ctx
+            )
+        finally:
+            self._end()
+        if worker_metrics is not None:
+            ctx.metrics.merge(worker_metrics)
+        return partial, cost
+
+    def scan_many(
+        self,
+        plan: PhysicalPlan,
+        segments: List[Segment],
+        bitmaps: Dict[str, DeleteBitmap],
+        ctx: ExecContext,
+    ) -> Tuple[List[PartialResult], List[float]]:
+        """Fan ``segments`` out across the worker processes.
+
+        Results and costs come back in input order and worker metrics
+        merge in input order after the join, exactly like the thread
+        fan-out — nothing downstream observes completion order.
+        """
+        total = len(segments)
+        partials: List[Optional[PartialResult]] = [None] * total
+        costs: List[float] = [0.0] * total
+        registries: List[Optional[MetricRegistry]] = [None] * total
+        pending = deque(range(total))
+        pending_lock = threading.Lock()
+        failures: List[BaseException] = []
+
+        def feed() -> None:
+            while True:
+                if ctx.cancel is not None and ctx.cancel.cancelled:
+                    self._cancel_flag.set()
+                    return
+                with pending_lock:
+                    if not pending or failures:
+                        return
+                    position = pending.popleft()
+                segment = segments[position]
+                try:
+                    partial, cost, metrics = self.scan_segment(
+                        plan, segment, bitmaps.get(segment.segment_id), ctx
+                    )
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    failures.append(exc)
+                    return
+                partials[position] = partial
+                costs[position] = cost
+                registries[position] = metrics
+
+        self._begin(ctx.cancel)
+        try:
+            lanes = max(1, min(self.size, total))
+            if lanes == 1 or total <= 1:
+                feed()
+            else:
+                threads = [
+                    threading.Thread(target=feed, name=f"procpool-feed-{i}")
+                    for i in range(lanes)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+        finally:
+            self._end()
+        if failures:
+            raise failures[0]
+        if ctx.cancel is not None:
+            ctx.cancel.raise_if_cancelled()
+        for registry in registries:
+            if registry is not None:
+                ctx.metrics.merge(registry)
+        return list(partials), costs  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# Shared pool (one per engine process)
+# ----------------------------------------------------------------------
+_shared_pool: Optional[ProcessScanPool] = None
+_shared_lock = threading.Lock()
+
+
+def shared_pool(
+    workers: int = DEFAULT_POOL_WORKERS,
+    metrics: Optional[MetricRegistry] = None,
+) -> ProcessScanPool:
+    """The process-wide scan pool, created on first use.
+
+    Worker processes take ~0.5 s each to spawn (fresh interpreter +
+    numpy import), so engines share one pool instead of owning one
+    each; per-payload tokens keep attach caches correct across engine
+    instances.  ``metrics`` rebinds the pool's event/metric sink to the
+    calling engine.
+    """
+    global _shared_pool
+    with _shared_lock:
+        if _shared_pool is None or not _shared_pool.alive:
+            _shared_pool = ProcessScanPool(workers=workers, metrics=metrics)
+        elif _shared_pool.size < workers:
+            _shared_pool.grow(workers)
+        if metrics is not None:
+            _shared_pool.metrics = metrics
+        return _shared_pool
+
+
+def shutdown_shared_pool() -> None:
+    """Tear down the shared pool (tests, leak checks, interpreter exit)."""
+    global _shared_pool
+    with _shared_lock:
+        if _shared_pool is not None:
+            _shared_pool.shutdown()
+            _shared_pool = None
+
+
+atexit.register(shutdown_shared_pool)

@@ -53,6 +53,9 @@ EVENT_TYPES = (
     "compaction.start",
     "compaction.finish",
     "slo.alert",
+    # Process scan plane: a pool worker died mid-scan / was replaced.
+    "worker.crash",
+    "worker.respawn",
 )
 
 

@@ -32,12 +32,20 @@ def encode_block(values: Any) -> bytes:
 
 
 def decode_block(payload: bytes) -> Any:
-    """Inverse of :func:`encode_block`."""
+    """Inverse of :func:`encode_block`.
+
+    Decoded numpy arrays come back *read-only*: a decoded block is an
+    immutable column (and may be shared zero-copy across scans and, via
+    shared-memory segments, across processes), so no kernel downstream
+    may mutate it in place.
+    """
     if len(payload) < 4:
         raise ValueError("block payload too short to carry a header")
     header, body = payload[:4], payload[4:]
     if header == b"NPY0":
-        return np.load(io.BytesIO(body), allow_pickle=False)
+        values = np.load(io.BytesIO(body), allow_pickle=False)
+        values.setflags(write=False)
+        return values
     if header == b"PKL0":
         return pickle.loads(body)
     raise ValueError(f"unknown block header: {header!r}")

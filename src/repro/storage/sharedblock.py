@@ -1,0 +1,289 @@
+"""Process-shareable vector payloads.
+
+A :class:`SharedVectorBlock` holds one segment's vector column in a
+buffer any process on the machine can map: ``multiprocessing``
+POSIX shared memory by default (``/dev/shm``), with an mmap-on-localdisk
+fallback for platforms or environments without it.  The owning process
+creates the block once; scan workers :meth:`attach` by name and get a
+read-only zero-copy numpy view — vectors are never pickled across the
+process boundary.
+
+Lifecycle is split in two, mirroring POSIX shm semantics:
+
+* :meth:`unlink` removes the *name* (the ``/dev/shm`` entry or fallback
+  file).  Existing mappings — the owner's view, any attached worker
+  views — stay valid; no new process can attach.  The MVCC manifest
+  retire hooks call this the moment the last strong manifest reference
+  to a segment drops, so the namespace is reclaimed exactly with the
+  segment.
+* :meth:`close` drops this process's mapping.  Memory is returned to
+  the OS when the last mapping closes.  Owners close via a
+  ``weakref.finalize`` on the owning :class:`~repro.storage.segment.Segment`;
+  workers close on attach-cache eviction and pool shutdown.
+
+Every block created by this process is tracked in a registry so tests
+(and the ``SHM_LEAK_CHECK`` session guard) can prove nothing leaks: a
+``/dev/shm`` entry carrying this process's name prefix that the registry
+no longer knows about is a leak.  An ``atexit`` sweep unlinks anything
+still registered at interpreter exit, so even an aborted run leaves
+``/dev/shm`` clean.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import tempfile
+import threading
+import uuid
+import weakref
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - availability probe
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - ancient platforms
+    _shm = None
+
+# Name prefix for every block this process creates; the pid makes the
+# /dev/shm leak check per-process and collision-free across test runs.
+_PREFIX = f"bh-{os.getpid()}-"
+
+_registry_lock = threading.Lock()
+# name -> weakref to the owning block (created by this process only).
+_registry: Dict[str, "weakref.ref[SharedVectorBlock]"] = {}
+
+
+def block_name_prefix() -> str:
+    """The shared-memory name prefix used by this process."""
+    return _PREFIX
+
+
+def live_block_names() -> List[str]:
+    """Names of blocks created by this process and not yet unlinked."""
+    with _registry_lock:
+        return sorted(
+            name for name, ref in _registry.items() if ref() is not None
+        )
+
+
+def orphaned_shm_names() -> List[str]:
+    """``/dev/shm`` entries with this process's prefix that no live,
+    still-linked block accounts for — the leak-check predicate."""
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # pragma: no cover - non-Linux
+        return []
+    tracked = set(live_block_names())
+    return sorted(
+        name for name in os.listdir(shm_dir)
+        if name.startswith(_PREFIX) and name not in tracked
+    )
+
+
+def _unlink_all_at_exit() -> None:  # pragma: no cover - interpreter exit
+    with _registry_lock:
+        blocks = [ref() for ref in _registry.values()]
+    for block in blocks:
+        if block is not None:
+            try:
+                block.unlink()
+            except Exception:
+                pass
+
+
+atexit.register(_unlink_all_at_exit)
+
+
+@dataclass(frozen=True)
+class SharedBlockSpec:
+    """Picklable attach handle: everything a worker needs to map a block.
+
+    ``kind`` is ``"shm"`` (POSIX shared memory, ``name`` is the segment
+    name under ``/dev/shm``) or ``"mmap"`` (``path`` is a local file to
+    memory-map).  The spec never carries vector bytes.
+    """
+
+    kind: str
+    name: str
+    shape: Tuple[int, int]
+    dtype: str
+    path: Optional[str] = None
+
+    @property
+    def nbytes(self) -> int:
+        rows, dim = self.shape
+        return int(rows) * int(dim) * np.dtype(self.dtype).itemsize
+
+
+def _new_name() -> str:
+    return _PREFIX + uuid.uuid4().hex[:12]
+
+
+class SharedVectorBlock:
+    """One (rows, dim) vector payload in process-shareable memory."""
+
+    def __init__(
+        self,
+        spec: SharedBlockSpec,
+        shm: Optional[object],
+        mmap_array: Optional[np.ndarray],
+        owner: bool,
+    ) -> None:
+        self.spec = spec
+        self._shm = shm
+        self._mmap = mmap_array
+        self._owner = owner
+        self._closed = False
+        self._unlinked = False
+        view = self._raw_array()
+        view.setflags(write=False)
+        self._view = view
+        if owner:
+            with _registry_lock:
+                _registry[spec.name] = weakref.ref(self)
+
+    def _raw_array(self) -> np.ndarray:
+        if self._shm is not None:
+            return np.ndarray(
+                self.spec.shape, dtype=self.spec.dtype, buffer=self._shm.buf
+            )
+        assert self._mmap is not None
+        return np.asarray(self._mmap)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def allocate(
+        cls, rows: int, dim: int, dtype: str = "float32", prefer: str = "shm"
+    ) -> "SharedVectorBlock":
+        """Create an empty owned block (fill via :meth:`writable_view`)."""
+        rows, dim = int(rows), int(dim)
+        nbytes = max(1, rows * dim * np.dtype(dtype).itemsize)
+        name = _new_name()
+        if prefer == "shm" and _shm is not None:
+            try:
+                seg = _shm.SharedMemory(name=name, create=True, size=nbytes)
+            except (OSError, ValueError):
+                seg = None
+            if seg is not None:
+                spec = SharedBlockSpec("shm", name, (rows, dim), str(dtype))
+                return cls(spec, seg, None, owner=True)
+        # mmap-on-localdisk fallback: a plain file any process can map.
+        path = os.path.join(tempfile.gettempdir(), f"{name}.vec")
+        mapped = np.memmap(path, dtype=dtype, mode="w+", shape=(rows, dim))
+        spec = SharedBlockSpec("mmap", name, (rows, dim), str(dtype), path=path)
+        return cls(spec, None, mapped, owner=True)
+
+    @classmethod
+    def create(
+        cls, vectors: np.ndarray, prefer: str = "shm"
+    ) -> "SharedVectorBlock":
+        """Create an owned block holding a copy of ``vectors``."""
+        vectors = np.ascontiguousarray(vectors, dtype=np.float32)
+        if vectors.ndim != 2:
+            raise ValueError(f"vectors must be 2-D, got shape {vectors.shape}")
+        block = cls.allocate(vectors.shape[0], vectors.shape[1], prefer=prefer)
+        staging = block.writable_view()
+        np.copyto(staging, vectors)
+        return block
+
+    @classmethod
+    def attach(cls, spec: SharedBlockSpec) -> "SharedVectorBlock":
+        """Map an existing block by spec (worker side; never owns the name)."""
+        if spec.kind == "shm":
+            if _shm is None:  # pragma: no cover - defensive
+                raise RuntimeError("shared_memory unavailable; cannot attach")
+            seg = _shm.SharedMemory(name=spec.name, create=False)
+            return cls(spec, seg, None, owner=False)
+        if spec.kind == "mmap":
+            mapped = np.memmap(
+                spec.path, dtype=spec.dtype, mode="r", shape=spec.shape
+            )
+            return cls(spec, None, mapped, owner=False)
+        raise ValueError(f"unknown shared block kind {spec.kind!r}")
+
+    @classmethod
+    def from_store(
+        cls, store, key: str, prefer: str = "shm"
+    ) -> "SharedVectorBlock":
+        """Materialize a persisted vector column block into shared memory.
+
+        Cold-path bridge from the :class:`~repro.storage.objectstore.ObjectStore`
+        (charges the usual simulated read) into a shareable buffer.
+        """
+        from repro.storage.blockio import decode_block
+
+        vectors = decode_block(store.get(key))
+        return cls.create(np.asarray(vectors), prefer=prefer)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def view(self) -> np.ndarray:
+        """Read-only zero-copy (rows, dim) view of the payload."""
+        if self._closed:
+            raise ValueError(f"shared block {self.spec.name} is closed")
+        return self._view
+
+    def writable_view(self) -> np.ndarray:
+        """Writable view for the *owner* to fill (streamed ingest)."""
+        if not self._owner:
+            raise ValueError("only the owning process may write a shared block")
+        if self._closed:
+            raise ValueError(f"shared block {self.spec.name} is closed")
+        staging = self._raw_array()
+        staging.setflags(write=True)
+        return staging
+
+    @property
+    def nbytes(self) -> int:
+        return self.spec.nbytes
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def unlink(self) -> None:
+        """Remove the block's name; existing mappings stay valid."""
+        if self._unlinked or not self._owner:
+            return
+        self._unlinked = True
+        with _registry_lock:
+            _registry.pop(self.spec.name, None)
+        try:
+            if self._shm is not None:
+                self._shm.unlink()
+            elif self.spec.path is not None:
+                os.unlink(self.spec.path)
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def close(self) -> None:
+        """Drop this process's mapping (owner closes also unlink first)."""
+        if self._closed:
+            return
+        if self._owner and not self._unlinked:
+            self.unlink()
+        self._closed = True
+        self._view = None  # type: ignore[assignment]
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except BufferError:  # pragma: no cover - a view still exported
+                # Someone still holds a numpy view over the buffer; the
+                # mapping dies with the process.  The name is already
+                # unlinked, so nothing leaks in /dev/shm either way.
+                pass
+            else:
+                self._shm = None
+        if self._mmap is not None:
+            # numpy memmaps release their mapping when collected; drop
+            # the reference so the file handle does not linger.
+            self._mmap = None
+
+    def __reduce__(self):  # pragma: no cover - guard
+        raise TypeError(
+            "SharedVectorBlock is not picklable; send its .spec and attach()"
+        )

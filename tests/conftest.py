@@ -71,18 +71,42 @@ def _mvcc_leak_guard():
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Process-exit leak gate for the concurrency-stress CI job."""
-    if os.environ.get("MVCC_LEAK_CHECK") != "1":
-        return
-    from repro.storage.manifest import live_pinned_snapshots
+    """Process-exit leak gates for the stress/proc CI jobs."""
+    if os.environ.get("MVCC_LEAK_CHECK") == "1":
+        from repro.storage.manifest import live_pinned_snapshots
 
-    leaked = live_pinned_snapshots()
-    if leaked:
-        print(
-            f"\nMVCC leak check: {leaked} pinned snapshot(s) still live "
-            "at process exit"
+        leaked = live_pinned_snapshots()
+        if leaked:
+            print(
+                f"\nMVCC leak check: {leaked} pinned snapshot(s) still live "
+                "at process exit"
+            )
+            session.exitstatus = 1
+    if os.environ.get("SHM_LEAK_CHECK") == "1":
+        # Shared-memory leak gate (proc-smoke CI job): after shutting
+        # down the scan pool and collecting every segment, no /dev/shm
+        # block created by this process may remain linked.
+        import gc
+
+        from repro.executor.procpool import shutdown_shared_pool
+        from repro.storage.sharedblock import (
+            live_block_names,
+            orphaned_shm_names,
         )
-        session.exitstatus = 1
+
+        shutdown_shared_pool()
+        gc.collect()
+        orphans = orphaned_shm_names()
+        if orphans:
+            print(f"\nSHM leak check: orphaned /dev/shm blocks: {orphans}")
+            session.exitstatus = 1
+        still_linked = live_block_names()
+        if still_linked:
+            print(
+                f"\nSHM leak check: {len(still_linked)} block(s) still "
+                f"linked at exit: {still_linked[:5]}"
+            )
+            session.exitstatus = 1
 
 
 @pytest.fixture

@@ -1,0 +1,307 @@
+"""SharedVectorBlock lifecycle, read-only contracts, streamed ingest.
+
+Covers the storage half of the multiprocess scan plane: block
+create/attach/unlink semantics, the MVCC-retire-hook reclamation wiring,
+the everything-is-read-only contract (no hot-path kernel may mutate a
+buffer that other processes map), and the chunked dataset generator
+whose driver-heap footprint stays bounded regardless of dataset size.
+"""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.core.database import BlendHouse
+from repro.errors import SegmentError
+from repro.storage.blockio import decode_block, encode_block
+from repro.storage.segment import Segment
+from repro.storage.sharedblock import (
+    SharedVectorBlock,
+    block_name_prefix,
+    live_block_names,
+    orphaned_shm_names,
+)
+from repro.vindex.registry import IndexSpec, create_index
+from repro.workloads.datasets import (
+    make_streamed_shared_dataset,
+    stream_clustered_vectors,
+)
+
+INDEX_TYPES = ["FLAT", "IVFFLAT", "IVFPQ", "IVFPQFS", "HNSW", "HNSWSQ", "DISKANN"]
+
+
+class TestBlockLifecycle:
+    def test_create_view_is_zero_copy_and_read_only(self, rng):
+        vectors = rng.normal(size=(50, 8)).astype(np.float32)
+        block = SharedVectorBlock.create(vectors)
+        view = block.view()
+        assert view.shape == (50, 8) and view.dtype == np.float32
+        assert not view.flags.writeable
+        np.testing.assert_array_equal(view, vectors)
+        # Same buffer on every call — no copies.
+        assert block.view() is view
+        block.close()
+
+    def test_attach_sees_identical_bytes(self, rng):
+        vectors = rng.normal(size=(20, 4)).astype(np.float32)
+        block = SharedVectorBlock.create(vectors)
+        attached = SharedVectorBlock.attach(block.spec)
+        assert attached.view().tobytes() == vectors.tobytes()
+        assert not attached.view().flags.writeable
+        attached.close()
+        block.close()
+
+    def test_unlink_keeps_existing_views_valid(self, rng):
+        vectors = rng.normal(size=(10, 4)).astype(np.float32)
+        block = SharedVectorBlock.create(vectors)
+        name = block.spec.name
+        view = block.view()
+        block.unlink()
+        assert name not in live_block_names()
+        # POSIX semantics: the mapping outlives the name.
+        np.testing.assert_array_equal(view, vectors)
+        with pytest.raises(FileNotFoundError):
+            SharedVectorBlock.attach(block.spec)
+        block.close()
+
+    def test_registry_tracks_and_releases_names(self, rng):
+        before = set(live_block_names())
+        block = SharedVectorBlock.create(
+            rng.normal(size=(5, 4)).astype(np.float32)
+        )
+        assert block.spec.name.startswith(block_name_prefix())
+        assert block.spec.name in live_block_names()
+        block.close()  # owner close unlinks first
+        assert block.spec.name not in live_block_names()
+        assert set(live_block_names()) <= before | set()
+        assert orphaned_shm_names() == []
+
+    def test_mmap_fallback_roundtrip(self, rng, tmp_path):
+        vectors = rng.normal(size=(30, 6)).astype(np.float32)
+        block = SharedVectorBlock.create(vectors, prefer="mmap")
+        assert block.spec.kind == "mmap"
+        attached = SharedVectorBlock.attach(block.spec)
+        np.testing.assert_array_equal(attached.view(), vectors)
+        assert not attached.view().flags.writeable
+        attached.close()
+        block.close()
+
+    def test_blocks_are_not_picklable(self, rng):
+        block = SharedVectorBlock.create(
+            rng.normal(size=(5, 4)).astype(np.float32)
+        )
+        import pickle
+
+        with pytest.raises(TypeError, match="attach"):
+            pickle.dumps(block)
+        block.close()
+
+
+class TestSegmentSharing:
+    def test_ensure_shared_is_idempotent_zero_copy(self, rng):
+        vectors = rng.normal(size=(40, 8)).astype(np.float32)
+        segment = Segment.from_columns(
+            "t/seg-00000000", "t", {"id": np.arange(40, dtype=np.uint64)},
+            vectors,
+        )
+        spec1 = segment.ensure_shared()
+        spec2 = segment.ensure_shared()
+        assert spec1 is spec2
+        view = segment.vectors()
+        assert not view.flags.writeable
+        np.testing.assert_array_equal(view, vectors)
+        # The view and the shared mapping are the same buffer.
+        attached = SharedVectorBlock.attach(spec1)
+        assert attached.view().tobytes() == view.tobytes()
+        attached.close()
+
+    def test_release_shared_unlinks_but_views_survive(self, rng):
+        segment = Segment.from_columns(
+            "t/seg-00000001", "t", {"id": np.arange(10, dtype=np.uint64)},
+            rng.normal(size=(10, 8)).astype(np.float32),
+        )
+        spec = segment.ensure_shared()
+        segment.release_shared()
+        assert spec.name not in live_block_names()
+        assert segment.vectors().shape == (10, 8)  # still readable
+
+    def test_segment_collection_reclaims_block(self, rng):
+        segment = Segment.from_columns(
+            "t/seg-00000002", "t", {"id": np.arange(10, dtype=np.uint64)},
+            rng.normal(size=(10, 8)).astype(np.float32),
+        )
+        name = segment.ensure_shared().name
+        del segment
+        gc.collect()
+        assert name not in live_block_names()
+        assert orphaned_shm_names() == []
+
+    def test_attach_shared_block_shape_mismatch_rejected(self, rng):
+        segment = Segment.from_columns(
+            "t/seg-00000003", "t", {"id": np.arange(10, dtype=np.uint64)},
+            rng.normal(size=(10, 8)).astype(np.float32),
+        )
+        wrong = SharedVectorBlock.create(
+            rng.normal(size=(5, 8)).astype(np.float32)
+        )
+        with pytest.raises(SegmentError, match="shape"):
+            segment.attach_shared_block(wrong)
+        wrong.close()
+
+    def test_mvcc_retire_hook_unlinks_shared_block(self, rng):
+        """Compaction retiring a segment must unlink its shared block the
+        moment the last strong manifest reference drops."""
+        db = BlendHouse()
+        db.execute(
+            "CREATE TABLE docs (id UInt64, embedding Array(Float32), "
+            "INDEX ann embedding TYPE FLAT('DIM=8'))"
+        )
+        db.table("docs").writer.config.max_segment_rows = 50
+        rows = [
+            {"id": i, "embedding": rng.normal(size=8).astype(np.float32)}
+            for i in range(200)
+        ]
+        db.insert_rows("docs", rows)
+        runtime = db.table("docs")
+        # Hold strong python refs so GC finalizers cannot be the thing
+        # that unlinks — only the MVCC retire hook may.
+        segments = [
+            runtime.manager.segment(meta.segment_id)
+            for meta in runtime.manager.metas()
+        ]
+        names = {
+            segment.segment_id: segment.ensure_shared().name
+            for segment in segments
+        }
+        assert all(name in live_block_names() for name in names.values())
+        results = runtime.compactor.run_once()
+        assert results, "compaction found nothing to merge"
+        retired = {
+            segment_id
+            for result in results
+            for segment_id in result.input_segment_ids
+        }
+        assert retired
+        for segment in segments:
+            name = names[segment.segment_id]
+            if segment.segment_id in retired:
+                assert name not in live_block_names(), (
+                    f"retired segment {segment.segment_id} kept its block"
+                )
+                # The still-held view remains valid after unlink.
+                assert segment.vectors().shape[0] == segment.row_count
+        assert orphaned_shm_names() == []
+
+
+class TestReadOnlyContract:
+    """Satellite: no hot-path kernel may mutate a shared buffer in place."""
+
+    def test_decoded_blocks_are_read_only(self, rng):
+        payload = encode_block(rng.normal(size=(20, 4)).astype(np.float32))
+        decoded = decode_block(payload)
+        assert not decoded.flags.writeable
+        with pytest.raises(ValueError):
+            decoded[0, 0] = 1.0
+
+    def test_segment_views_are_read_only(self, rng):
+        segment = Segment.from_columns(
+            "t/seg-00000010", "t",
+            {"id": np.arange(30, dtype=np.uint64)},
+            rng.normal(size=(30, 8)).astype(np.float32),
+        )
+        assert not segment.vectors().flags.writeable
+        assert not segment.scalar_column("id").flags.writeable
+        with pytest.raises(ValueError):
+            segment.vectors()[0, 0] = 9.9
+
+    def test_caller_arrays_stay_writable(self, rng):
+        ids = np.arange(30, dtype=np.uint64)
+        Segment.from_columns(
+            "t/seg-00000011", "t", {"id": ids},
+            rng.normal(size=(30, 8)).astype(np.float32),
+        )
+        ids[0] = 7  # the segment holds a locked *view*, not the base
+
+    @pytest.mark.parametrize("name", INDEX_TYPES)
+    def test_no_kernel_mutates_shared_vectors(self, rng, name):
+        """Search every index type against a shared read-only payload and
+        prove the bytes are untouched afterwards."""
+        data = rng.normal(size=(300, 16)).astype(np.float32)
+        segment = Segment.from_columns(
+            f"t/seg-ro-{name}", "t",
+            {"id": np.arange(300, dtype=np.uint64)}, data,
+        )
+        segment.ensure_shared()
+        shared = segment.vectors()
+        before = shared.tobytes()
+        params = {"m": 4} if name.startswith("IVFPQ") else {}
+        index = create_index(IndexSpec(index_type=name, dim=16, params=params))
+        index.train(shared)
+        index.add_with_ids(shared, np.arange(300))
+        refiner = getattr(index, "set_refiner", None)
+        if callable(refiner):
+            refiner(lambda ids: segment.vectors_at(ids))
+        for query in shared[:5]:
+            index.search_with_filter(query, 10)
+        bitset = np.ones(300, dtype=bool)
+        bitset[::3] = False
+        index.search_with_filter(shared[7], 10, bitset=bitset)
+        assert shared.tobytes() == before
+
+
+class TestStreamedDataset:
+    def test_chunk_stream_covers_all_rows(self, rng):
+        total = 0
+        for start, chunk in stream_clustered_vectors(
+            1000, 8, 4, rng, chunk_rows=256
+        ):
+            assert start == total
+            total += chunk.shape[0]
+            norms = np.linalg.norm(chunk, axis=1)
+            assert np.allclose(norms, 1.0, atol=1e-3)
+        assert total == 1000
+
+    def test_streamed_dataset_peak_heap_bounded(self):
+        """The satellite's RSS bound: generate ~51 MB of vectors with the
+        python-heap peak under a quarter of that (tracemalloc tracks
+        numpy allocations; shared-memory buffers are not heap)."""
+        import tracemalloc
+
+        gc.collect()
+        tracemalloc.start()
+        ds = make_streamed_shared_dataset(
+            n=200_000, dim=64, rows_per_segment=8192, chunk_rows=2048,
+            n_queries=50,
+        )
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        total_bytes = 200_000 * 64 * 4
+        assert peak < total_bytes / 4, (
+            f"driver heap peaked at {peak} bytes for a "
+            f"{total_bytes}-byte dataset"
+        )
+        assert ds.n == 200_000
+        assert len(ds.segments) == (200_000 + 8191) // 8192
+        assert ds.queries.shape == (50, 64)
+        for segment in ds.segments[:3]:
+            assert segment.shared_spec is not None
+            assert not segment.vectors().flags.writeable
+        del ds
+        gc.collect()
+        assert orphaned_shm_names() == []
+
+    def test_streamed_segments_are_scannable(self):
+        ds = make_streamed_shared_dataset(
+            n=2000, dim=16, rows_per_segment=500, chunk_rows=300, n_queries=4
+        )
+        assert [s.row_count for s in ds.segments] == [500, 500, 500, 500]
+        # Segment-local ids are globally consecutive.
+        first = ds.segments[1].scalar_column("id")
+        assert int(first[0]) == 500 and int(first[-1]) == 999
+        # Brute-force scan straight off the shared view works.
+        q = ds.queries[0]
+        distances = np.linalg.norm(
+            ds.segments[0].vectors() - q[None, :], axis=1
+        )
+        assert distances.shape == (500,)
