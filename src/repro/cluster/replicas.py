@@ -17,9 +17,11 @@ replicas cheap — no data copies, only caches):
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.cluster.stats import SegmentAccessStats
 from repro.cluster.warehouse import VirtualWarehouse, WarehouseConfig
 from repro.errors import NoWorkersError, WorkerUnavailableError
 from repro.executor.columnio import ColumnReader
@@ -61,6 +63,7 @@ class ReplicatedWarehouse:
         config: Optional[WarehouseConfig] = None,
         routing: str = "primary",
         tracer: Optional[Tracer] = None,
+        shared_cache=None,
     ) -> None:
         if replicas < 1:
             raise ValueError("need at least one replica")
@@ -69,11 +72,19 @@ class ReplicatedWarehouse:
         self.name = name
         self.metrics = metrics or MetricRegistry()
         self.routing = routing
+        # One SharedBlockCache (when given) and one routing directory
+        # span all replicas: the cache stops replica N from re-promoting
+        # a block replica 1 already fetched, and the directory stays safe
+        # to share because entries are keyed per (segment, manifest,
+        # warehouse) — each replica is its own warehouse id.
+        self.shared_cache = shared_cache
+        self.directory: OrderedDict = OrderedDict()
         self.replicas: List[VirtualWarehouse] = []
         for i in range(replicas):
             replica = VirtualWarehouse(
                 f"{name}-r{i}", clock, cost, store,
                 metrics=self.metrics, config=config, tracer=tracer,
+                shared_cache=shared_cache, directory=self.directory,
             )
             for _ in range(workers_per_replica):
                 replica.add_worker()
@@ -103,11 +114,34 @@ class ReplicatedWarehouse:
         return self.replicas[index]
 
     def preload_indexes(self, segment_ids, index_key_of) -> int:
-        """Preload every replica's caches (each has its own scheduler)."""
+        """Preload every replica's caches (each has its own scheduler).
+
+        Per-segment preload counters land in each replica's
+        ``access_stats`` (see :meth:`VirtualWarehouse.preload_indexes`),
+        so :meth:`access_stats` below reports fleet-visible warmth even
+        before the first query runs.
+        """
         total = 0
         for replica in self.replicas:
             total += replica.preload_indexes(segment_ids, index_key_of)
         return total
+
+    def access_stats(self) -> SegmentAccessStats:
+        """Per-segment hit/miss stats aggregated across replicas."""
+        merged = SegmentAccessStats()
+        merged.merge_from(replica.access_stats for replica in self.replicas)
+        return merged
+
+    def export_metrics(self) -> Dict:
+        """JSON-safe snapshot: per-replica detail plus merged stats."""
+        merged = self.access_stats()
+        return {
+            "name": self.name,
+            "routing": self.routing,
+            "replicas": [replica.export_metrics() for replica in self.replicas],
+            "hit_rate": merged.hit_rate(),
+            "segments": merged.snapshot(),
+        }
 
     def invalidate_index(self, index_key: Optional[str]) -> None:
         """Drop a retired index from every replica."""

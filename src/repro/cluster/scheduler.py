@@ -6,14 +6,29 @@ scaling) and remembers, for every segment whose owner changed, which
 worker held it before — the hook vector search serving needs (paper
 §II-D: "records the previous workers they are mapped to before the
 scaling").
+
+Routing decisions are also published into a *directory* keyed by the
+full ``(segment_id, manifest_id, warehouse_id)`` triple.  The directory
+may be one shared dict spanning every warehouse in a fleet (each
+member's scheduler writes into it); the warehouse id in the key is what
+keeps two warehouses racing over the same segment+manifest from ever
+sharing — and clobbering — one mutable entry.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Sequence
+from collections import OrderedDict
+from typing import Dict, List, MutableMapping, Optional, Sequence, Tuple
 
 from repro.cluster.hashring import MultiProbeHashRing
+
+# (segment_id, manifest_id, warehouse_id) -> worker_id
+RouteKey = Tuple[str, int, str]
+
+# Bound on directory entries: ingest mints a manifest per commit, so an
+# unpruned directory would grow with write volume, not data size.
+DIRECTORY_CAPACITY = 8192
 
 
 class SegmentScheduler:
@@ -23,10 +38,25 @@ class SegmentScheduler:
     concurrent queries against one warehouse, and two in-flight
     :meth:`assign` calls must not interleave their read-modify-write of
     the history maps.
+
+    Parameters
+    ----------
+    warehouse_id:
+        Namespace for directory entries this scheduler publishes.
+    directory:
+        Optional routing directory *shared across warehouses* (the
+        fleet passes one mapping to every member's scheduler).  Defaults
+        to a private bounded map.
     """
 
-    def __init__(self, ring: Optional[MultiProbeHashRing] = None) -> None:
+    def __init__(
+        self,
+        ring: Optional[MultiProbeHashRing] = None,
+        warehouse_id: str = "",
+        directory: Optional[MutableMapping[RouteKey, str]] = None,
+    ) -> None:
         self.ring = ring or MultiProbeHashRing()
+        self.warehouse_id = warehouse_id
         self._lock = threading.Lock()
         self._current: Dict[str, str] = {}
         self._previous: Dict[str, str] = {}
@@ -35,6 +65,9 @@ class SegmentScheduler:
         # across commits — but serving decisions can consult which
         # version a worker last saw.
         self._manifest: Dict[str, int] = {}
+        self._directory: MutableMapping[RouteKey, str] = (
+            directory if directory is not None else OrderedDict()
+        )
 
     # ------------------------------------------------------------------
     # Topology
@@ -64,9 +97,10 @@ class SegmentScheduler:
 
         Updates owner history: a segment whose owner differs from last
         time records the old owner as its previous owner.  When the query
-        carries a pinned ``manifest_id``, the routed version is recorded
-        per segment — queries effectively route by (segment_id,
-        manifest_id) while placement remains a pure segment-id hash.
+        carries a pinned ``manifest_id``, the routing decision is
+        published to the directory under the full ``(segment_id,
+        manifest_id, warehouse_id)`` key — queries effectively route by
+        that triple while placement remains a pure segment-id hash.
         """
         assignment: Dict[str, str] = {}
         with self._lock:
@@ -78,8 +112,27 @@ class SegmentScheduler:
                 self._current[segment_id] = worker
                 if manifest_id is not None:
                     self._manifest[segment_id] = manifest_id
+                    self._publish_route(segment_id, manifest_id, worker)
                 assignment[segment_id] = worker
         return assignment
+
+    def _publish_route(self, segment_id: str, manifest_id: int, worker: str) -> None:
+        key: RouteKey = (segment_id, manifest_id, self.warehouse_id)
+        self._directory[key] = worker
+        if isinstance(self._directory, OrderedDict):
+            self._directory.move_to_end(key)
+            while len(self._directory) > DIRECTORY_CAPACITY:
+                self._directory.popitem(last=False)
+
+    def routed_worker(
+        self, segment_id: str, manifest_id: int
+    ) -> Optional[str]:
+        """Worker this warehouse routed ``segment_id`` to under
+        ``manifest_id``, if that exact version was ever scanned here."""
+        with self._lock:
+            return self._directory.get(
+                (segment_id, manifest_id, self.warehouse_id)
+            )
 
     def routed_manifest(self, segment_id: str) -> Optional[int]:
         """Manifest id ``segment_id`` was last routed under, if known."""

@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional
 from repro.cluster.rpc import RpcFabric
 from repro.cluster.scheduler import SegmentScheduler
 from repro.cluster.serving import RemoteSearchProvider
+from repro.cluster.stats import SegmentAccessStats
 from repro.cluster.worker import Worker
 from repro.errors import NoWorkersError, WorkerUnavailableError
 from repro.executor.cancel import CancelToken
@@ -80,6 +81,8 @@ class VirtualWarehouse:
         metrics: Optional[MetricRegistry] = None,
         config: Optional[WarehouseConfig] = None,
         tracer: Optional[Tracer] = None,
+        shared_cache=None,
+        directory=None,
     ) -> None:
         self.name = name
         self.clock = clock
@@ -89,7 +92,15 @@ class VirtualWarehouse:
         self.config = config or WarehouseConfig()
         self.tracer = tracer
         self.fabric = RpcFabric(clock, cost, self.metrics, tracer=tracer)
-        self.scheduler = SegmentScheduler()
+        # The scheduler namespaces its routing-directory entries by this
+        # warehouse's name so a directory shared across a fleet never
+        # mixes two warehouses' decisions for one (segment, manifest).
+        self.scheduler = SegmentScheduler(warehouse_id=name, directory=directory)
+        # Optional fleet-wide SharedBlockCache handed to every worker.
+        self.shared_cache = shared_cache
+        # Per-segment hit/miss/preload counters (the elastic preloader's
+        # input signal); recorded at every index resolution.
+        self.access_stats = SegmentAccessStats()
         self.workers: Dict[str, Worker] = {}
         # Fraction of warehouse compute consumed by co-located background
         # work (write workload interference, Fig 12).  0 = dedicated VW.
@@ -115,6 +126,7 @@ class VirtualWarehouse:
             mem_data_bytes=self.config.worker_mem_data_bytes,
             disk_bytes=self.config.worker_disk_bytes,
             cores=self.config.worker_cores,
+            shared_cache=self.shared_cache,
         )
         self.workers[worker_id] = worker
         self.scheduler.add_worker(worker_id)
@@ -161,7 +173,12 @@ class VirtualWarehouse:
         self, segment_ids: List[str], index_key_of: IndexKeyLookup
     ) -> int:
         """Cache-aware preload: pull each segment's index into the worker
-        the scheduler maps it to (paper §II-D).  Returns loads done."""
+        the scheduler maps it to (paper §II-D).  Returns loads done.
+
+        Each successful load is recorded in :attr:`access_stats` so the
+        elastic preloader can tell warmed segments from never-touched
+        ones when it ranks the hot set for the *next* joining warehouse.
+        """
         assignment = self.scheduler.assign(segment_ids)
         loaded = 0
         for segment_id, worker_id in assignment.items():
@@ -171,6 +188,7 @@ class VirtualWarehouse:
             worker = self.workers.get(worker_id)
             if worker is not None and worker.preload(key):
                 loaded += 1
+                self.access_stats.record_preload(segment_id, self.clock.now)
         return loaded
 
     def invalidate_index(self, index_key: Optional[str]) -> None:
@@ -231,7 +249,7 @@ class VirtualWarehouse:
                 if attempts > self.config.max_query_retries:
                     raise
 
-    def _execute_once(
+    def capture_scans(
         self,
         plan: PhysicalPlan,
         segments: List[Segment],
@@ -241,8 +259,19 @@ class VirtualWarehouse:
         params: CostModelParams,
         manifest_id: Optional[int] = None,
         cancel: Optional[CancelToken] = None,
-    ) -> QueryResult:
-        start = self.clock.now
+    ):
+        """Run every segment scan with the clock *capturing*.
+
+        Returns ``(partials, segment_costs, effective_makespan_s)`` where
+        ``segment_costs`` is ``[(segment_id, cost_s), ...]`` in scan
+        order and the makespan already includes interference.  The clock
+        is NOT advanced — :meth:`execute_query` applies the makespan
+        directly, while the staged fleet path hands it to the serving
+        loop as a stage's ``advance_s`` (virtual time applied by the
+        frontend, exactly like ``BlendHouse.select_stages``).
+        """
+        if not self.workers:
+            raise NoWorkersError(f"warehouse {self.name!r} has no workers")
         by_id = {segment.segment_id: segment for segment in segments}
         assignment = self.scheduler.assign(list(by_id), manifest_id=manifest_id)
         grouped = self.scheduler.group_by_worker(assignment)
@@ -255,6 +284,7 @@ class VirtualWarehouse:
 
         partials: List[PartialResult] = []
         worker_costs: List[float] = []
+        scan_costs: List[tuple] = []
         for worker_id, segment_ids in grouped.items():
             worker = self.workers.get(worker_id)
             if worker is None or not worker.alive:
@@ -290,6 +320,7 @@ class VirtualWarehouse:
                             execute_segment(plan, segment, bitmaps.get(segment_id), ctx)
                         )
                     segment_costs.append(captured.total)
+                    scan_costs.append((segment_id, captured.total))
                 if scan_span is not None:
                     # Charged cost, not wall time: the capturing block keeps
                     # the clock frozen, so span duration alone would read 0.
@@ -303,9 +334,41 @@ class VirtualWarehouse:
 
         makespan = max(worker_costs) if worker_costs else 0.0
         effective = makespan * self._interference_factor()
+        return partials, scan_costs, effective
+
+    def _execute_once(
+        self,
+        plan: PhysicalPlan,
+        segments: List[Segment],
+        bitmaps: Dict[str, DeleteBitmap],
+        index_key_of: IndexKeyLookup,
+        reader: ColumnReader,
+        params: CostModelParams,
+        manifest_id: Optional[int] = None,
+        cancel: Optional[CancelToken] = None,
+    ) -> QueryResult:
+        start = self.clock.now
+        partials, _, effective = self.capture_scans(
+            plan, segments, bitmaps, index_key_of, reader, params,
+            manifest_id=manifest_id, cancel=cancel,
+        )
         self.metrics.record_latency("warehouse.makespan", effective)
         self.clock.advance(effective)
 
+        result = self.merge_partials(plan, partials, reader, params, len(segments))
+        result.simulated_seconds = self.clock.elapsed_since(start)
+        self.metrics.incr("warehouse.queries")
+        return result
+
+    def merge_partials(
+        self,
+        plan: PhysicalPlan,
+        partials: List[PartialResult],
+        reader: ColumnReader,
+        params: CostModelParams,
+        n_segments: int,
+    ) -> QueryResult:
+        """Merge per-segment partials into one result (charges merge cost)."""
         merge_ctx = ExecContext(
             clock=self.clock,
             cost=self.cost,
@@ -314,10 +377,18 @@ class VirtualWarehouse:
             resolve_index=lambda segment: None,
             metrics=self.metrics,
         )
-        result = merge_and_project(plan, partials, merge_ctx, len(segments))
-        result.simulated_seconds = self.clock.elapsed_since(start)
-        self.metrics.incr("warehouse.queries")
-        return result
+        return merge_and_project(plan, partials, merge_ctx, n_segments)
+
+    def export_metrics(self) -> Dict:
+        """JSON-safe warehouse snapshot including per-segment access
+        stats (satellite of the elastic fleet: the preloader's input)."""
+        return {
+            "name": self.name,
+            "workers": self.worker_count,
+            "background_load": self.background_load,
+            "hit_rate": self.access_stats.hit_rate(),
+            "segments": self.access_stats.snapshot(),
+        }
 
     def _resolver_for(
         self,
@@ -337,6 +408,7 @@ class VirtualWarehouse:
             )
             if isinstance(provider, RemoteSearchProvider):
                 provider.cancel = cancel
+            self.access_stats.record(segment.segment_id, tier, self.clock.now)
             self.metrics.incr(f"warehouse.tier.{tier}")
             if self.tracer is not None:
                 self.tracer.annotate("tier", tier)

@@ -1,0 +1,30 @@
+"""Elastic fleet: multi-warehouse routing, autoscaling, cold-cache masking.
+
+The paper's serving story composed end to end: a
+:class:`~repro.elastic.fleet.WarehouseFleet` runs multiple concurrent
+virtual warehouses over one shared object store; a
+:class:`~repro.elastic.router.FleetRouter` spreads tenants/lanes across
+members with multi-probe consistent hashing (cache affinity stable under
+membership churn); a :class:`~repro.elastic.autoscaler.FleetAutoscaler`
+consumes SLO burn rates to trigger scale events mid-workload; and a
+:class:`~repro.elastic.preloader.BackgroundPreloader` warms a joining
+warehouse's hierarchical cache *before* it enters the ring — the paper's
+cold-cache masking.  :class:`~repro.elastic.engine.FleetBlendHouse` ties
+it all to the SQL engine.
+"""
+
+from repro.elastic.autoscaler import AutoscalerPolicy, FleetAutoscaler
+from repro.elastic.engine import FleetBlendHouse
+from repro.elastic.fleet import FleetConfig, WarehouseFleet
+from repro.elastic.preloader import BackgroundPreloader
+from repro.elastic.router import FleetRouter
+
+__all__ = [
+    "AutoscalerPolicy",
+    "BackgroundPreloader",
+    "FleetAutoscaler",
+    "FleetBlendHouse",
+    "FleetConfig",
+    "FleetRouter",
+    "WarehouseFleet",
+]

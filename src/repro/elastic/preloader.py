@@ -1,0 +1,72 @@
+"""Background cache preloading: the cold-cache masking half.
+
+The paper masks scale-out cliffs by warming a joining warehouse's
+hierarchical index cache *before* the router sends it traffic.  Which
+segments to warm comes from the per-segment access statistics every
+warehouse records while serving (``VirtualWarehouse.access_stats``):
+the preloader ranks segments fleet-wide by observed heat and preloads
+the hot set into the joining warehouse's workers, charging the warm-up
+cost to a *background* timeline — the fetches run with the shared clock
+capturing, and the fleet admits the warehouse only once that captured
+cost has elapsed on the simulated clock (``WarehouseFleet.poll``).
+
+With the shared block cache enabled the warm-up is itself cheap: the
+bytes were promoted by existing members, so the joining warehouse pulls
+them from the disaggregated tier at RPC cost instead of re-paying the
+object store per index.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.cluster.warehouse import VirtualWarehouse
+from repro.observe.events import emit_event
+
+
+class BackgroundPreloader:
+    """Warms joining warehouses from fleet-wide access statistics."""
+
+    def __init__(self, fleet, top_k: Optional[int] = None) -> None:
+        self.fleet = fleet
+        # None defers to the fleet config's preload_top_k.
+        self.top_k = top_k
+        self.warmups = 0
+
+    def _hot_set(self) -> Optional[set]:
+        """Segment ids worth warming, or None to warm the full catalog.
+
+        Before any query has run there is no heat signal; warming
+        everything is the only defensible choice (matches the paper's
+        initial preload).  Once stats exist, only accessed segments are
+        warmed — cold data stays cold and the warm-up budget goes where
+        queries actually land.
+        """
+        limit = self.top_k if self.top_k is not None else self.fleet.config.preload_top_k
+        hot = self.fleet.hot_segments(limit)
+        return set(hot) if hot else None
+
+    def warm(self, warehouse: VirtualWarehouse) -> Tuple[int, float]:
+        """Preload the hot set into ``warehouse`` off the query path.
+
+        Returns ``(indexes_loaded, background_cost_s)``.  The cost is
+        *captured*, not applied: the caller models the warm-up running
+        concurrently with foreground traffic by delaying ring admission
+        until ``clock.now + background_cost_s``.
+        """
+        hot = self._hot_set()
+        loaded = 0
+        with warehouse.clock.capturing() as captured:
+            for provider in self.fleet.catalog_providers():
+                segment_ids, index_key_of = provider()
+                if hot is not None:
+                    segment_ids = [s for s in segment_ids if s in hot]
+                loaded += warehouse.preload_indexes(segment_ids, index_key_of)
+        self.warmups += 1
+        self.fleet.metrics.incr("fleet.preloaded_indexes", loaded)
+        emit_event(
+            self.fleet.metrics, "fleet.preload", warehouse=warehouse.name,
+            loaded=loaded, cost_s=round(captured.total, 6),
+            hot_only=hot is not None,
+        )
+        return loaded, captured.total

@@ -10,11 +10,12 @@ per-segment scans in *worker processes* instead:
   ``(segment_id, manifest_id, block token, has_index)`` so a segment's
   shared-memory vector block is mapped once and its index deserialized
   once, then reused across queries.
-* Scan requests ship **pickled scan specs, never vectors**: the plan,
-  the delete bitmap, the cost model, and a
-  :class:`~repro.storage.sharedblock.SharedBlockSpec` attach handle.
-  Vector payloads cross the process boundary zero-copy through
-  ``multiprocessing.shared_memory``.
+* Scan requests ship **pickled scan specs, never data**: the plan, the
+  cost model, and :class:`~repro.storage.sharedblock.SharedBlockSpec`
+  attach handles.  Vector payloads — and frozen delete bitmaps, which
+  under MVCC copy-on-write are immutable per version — cross the
+  process boundary zero-copy through ``multiprocessing.shared_memory``;
+  only mutable bitmaps still fall back to inline pickling.
 * Simulated-time accounting is preserved: the worker runs the scan
   under a private :class:`~repro.simulate.clock.SimulatedClock` capture
   and returns the charged cost, which the parent feeds into the same
@@ -84,6 +85,11 @@ class ScanSpec:
     read_config: ReadOptConfig
     manifest_id: Optional[int]
     kernel_mode: str
+    # Frozen delete bitmaps ship as shared-memory attach handles instead
+    # of re-pickling the mask per scan; ``bitmap`` is None in that case
+    # and stays as the inline fallback for mutable/unshareable bitmaps.
+    bitmap_spec: Optional[Any] = None
+    bitmap_version: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -121,11 +127,36 @@ def _install_payload(
     return block, segment, provider
 
 
+def _resolve_bitmap(
+    spec: ScanSpec, cache: "OrderedDict[str, DeleteBitmap]"
+) -> Optional[DeleteBitmap]:
+    """The scan's delete bitmap: attached from shared memory when shipped
+    by spec (mapped once per worker, reused across queries), else the
+    inline-pickled fallback.  Attaching charges no simulated time — the
+    thread plane reads the same committed mask for free, and process
+    mode must stay exact-equal in simulated seconds."""
+    if spec.bitmap_spec is None:
+        return spec.bitmap
+    name = spec.bitmap_spec.name
+    bitmap = cache.get(name)
+    if bitmap is None:
+        bitmap = DeleteBitmap.from_shared(spec.bitmap_spec, spec.bitmap_version)
+        cache[name] = bitmap
+        while len(cache) > WORKER_CACHE_ENTRIES:
+            # Dropping the entry closes its mapping via the bitmap's
+            # finalizer once nothing else references it.
+            cache.popitem(last=False)
+    else:
+        cache.move_to_end(name)
+    return bitmap
+
+
 def _run_scan(
     spec: ScanSpec,
     segment: Segment,
     provider: Optional[VectorIndex],
     clock: SimulatedClock,
+    bitmap: Optional[DeleteBitmap],
 ) -> Tuple[np.ndarray, Optional[np.ndarray], float, MetricRegistry]:
     """Execute one scan under a cost capture on the worker's clock."""
     if get_kernel_mode() != spec.kernel_mode:
@@ -143,7 +174,7 @@ def _run_scan(
         manifest_id=spec.manifest_id,
     )
     with clock.capturing() as captured:
-        partial = _execute_segment(spec.plan, segment, spec.bitmap, ctx)
+        partial = _execute_segment(spec.plan, segment, bitmap, ctx)
     return partial.offsets, partial.distances, captured.total, metrics
 
 
@@ -153,6 +184,7 @@ def _worker_main(conn, cancel_flag) -> None:
     cache: "OrderedDict[Any, Tuple[Any, Segment, Optional[VectorIndex]]]" = (
         OrderedDict()
     )
+    bitmap_cache: "OrderedDict[str, DeleteBitmap]" = OrderedDict()
     try:
         while True:
             try:
@@ -186,8 +218,9 @@ def _worker_main(conn, cancel_flag) -> None:
                             old_block.close()
                 cache.move_to_end(key)
                 _block, segment, provider = entry
+                bitmap = _resolve_bitmap(spec, bitmap_cache)
                 offsets, distances, cost, metrics = _run_scan(
-                    spec, segment, provider, clock
+                    spec, segment, provider, clock, bitmap
                 )
                 conn.send(("ok", req_id, offsets, distances, cost, metrics))
             except BaseException as exc:  # noqa: BLE001 - shipped to parent
@@ -473,14 +506,26 @@ class ProcessScanPool:
         except Exception:  # pragma: no cover - no shm and no tmpdir
             spec = None
         del spec  # the payload reads segment.shared_spec directly
+        bitmap_spec = None
+        if bitmap is not None:
+            try:
+                # Frozen bitmaps ship zero-copy; mutable ones (or a
+                # failed allocation) fall back to inline pickling.
+                bitmap_spec = bitmap.ensure_shared()
+            except Exception:  # pragma: no cover - no shm and no tmpdir
+                bitmap_spec = None
+            if bitmap_spec is not None:
+                self.metrics.incr("procpool.bitmap_shm_ships")
         scan_spec = ScanSpec(
             plan=plan,
-            bitmap=bitmap,
+            bitmap=None if bitmap_spec is not None else bitmap,
             cost=ctx.cost,
             params=ctx.params,
             read_config=ctx.reader.config,
             manifest_id=ctx.manifest_id,
             kernel_mode=get_kernel_mode(),
+            bitmap_spec=bitmap_spec,
+            bitmap_version=bitmap.version if bitmap is not None else 0,
         )
         key = self._payload_key(segment, ctx.manifest_id, provider is not None)
         handle = self._next_slot()

@@ -56,6 +56,11 @@ EVENT_TYPES = (
     # Process scan plane: a pool worker died mid-scan / was replaced.
     "worker.crash",
     "worker.respawn",
+    # Elastic fleet: membership and cold-cache-masking transitions.
+    "fleet.scale_out",
+    "fleet.scale_in",
+    "fleet.preload",
+    "fleet.warehouse_ready",
 )
 
 

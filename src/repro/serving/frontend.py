@@ -358,7 +358,16 @@ class ServingFrontend:
         Closing the generator (any exception at the awaits, including
         cancellation) releases the snapshot pin via its ``finally``.
         """
-        stages = self.db.select_stages(request.sql, cancel=request.cancel)
+        if getattr(self.db, "routed_serving", False):
+            # Fleet-backed engine: each staged query routes by
+            # (tenant, lane) to one warehouse instead of pinning the
+            # frontend to a single engine.
+            stages = self.db.select_stages(
+                request.sql, cancel=request.cancel,
+                tenant=request.tenant, lane=request.lane.value,
+            )
+        else:
+            stages = self.db.select_stages(request.sql, cancel=request.cancel)
         result: Optional[QueryResult] = None
         flight: Optional[Dict[str, object]] = None
         try:

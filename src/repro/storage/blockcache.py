@@ -1,0 +1,89 @@
+"""Fleet-shared block cache: a disaggregated tier between disk and S3.
+
+d-HNSW (PAPERS.md) argues for a memory tier *between* each worker's
+local cache and remote object storage: a pool every warehouse in the
+fleet can read at RPC cost instead of paying the object store's
+first-byte latency.  Concretely, when warehouse A promotes an index
+payload the bytes land here too, and warehouse B's (or replica B's)
+later promotion of the *same* key is served from the pool — replicated
+warehouses stop re-promoting the same block per replica.
+
+Reads are charged as one serving RPC carrying the payload
+(:meth:`DeviceCostModel.rpc_call`), which sits naturally between the
+local-disk and object-store tiers of the cost model.  Writes are
+write-behind (the promoting warehouse already paid the remote fetch) and
+charge nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.simulate.clock import SimulatedClock
+from repro.simulate.costmodel import DeviceCostModel
+from repro.simulate.metrics import MetricRegistry
+from repro.storage.cache import LRUCache
+
+DEFAULT_CAPACITY_BYTES = 256 << 20
+
+
+class SharedBlockCache:
+    """Byte-budgeted cache of persisted payload bytes shared fleet-wide."""
+
+    def __init__(
+        self,
+        clock: SimulatedClock,
+        cost: Optional[DeviceCostModel] = None,
+        capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
+        metrics: Optional[MetricRegistry] = None,
+    ) -> None:
+        self._clock = clock
+        self._cost = cost or DeviceCostModel()
+        self._metrics = metrics or MetricRegistry()
+        self._cache = LRUCache(capacity_bytes)
+
+    def __contains__(self, key: str) -> bool:
+        """Presence probe; charges nothing (workers use it to pick a tier)."""
+        return key in self._cache
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._cache.used_bytes
+
+    @property
+    def hits(self) -> int:
+        return self._cache.hits
+
+    @property
+    def misses(self) -> int:
+        return self._cache.misses
+
+    def get(self, key: str) -> Optional[bytes]:
+        """Payload bytes for ``key`` or None; a hit charges one RPC
+        carrying the payload back to the caller."""
+        payload = self._cache.get(key)
+        if payload is None:
+            self._metrics.incr("blockcache.misses")
+            return None
+        self._clock.advance(self._cost.rpc_call(64, len(payload)))
+        self._metrics.incr("blockcache.hits")
+        return payload
+
+    def put(self, key: str, payload: bytes) -> bool:
+        """Write-behind insert of freshly promoted payload bytes."""
+        ok = self._cache.put(key, payload)
+        if ok:
+            self._metrics.incr("blockcache.inserts")
+        else:
+            self._metrics.incr("blockcache.insert_rejected")
+        return ok
+
+    def invalidate(self, key: str) -> bool:
+        """Drop a retired payload (compaction retired its index)."""
+        return self._cache.evict(key)
+
+    def clear(self) -> None:
+        self._cache.clear()

@@ -121,3 +121,119 @@ class TestProperties:
         ring.remove_worker("transient")
         after = ring.assignment(keys(100))
         assert before == after
+
+
+class TestProbeBalance:
+    """More probes flatten the load: the multi-probe trade-off."""
+
+    @staticmethod
+    def _spread(probes, n_workers=8, n_keys=800):
+        ring = MultiProbeHashRing(probes=probes)
+        for i in range(n_workers):
+            ring.add_worker(f"w{i}")
+        counts = ring.load_distribution(keys(n_keys))
+        expected = n_keys / n_workers
+        return max(counts.values()) / expected
+
+    def test_more_probes_tighter_balance(self):
+        # One probe degenerates to classic single-point consistent
+        # hashing (arc lengths vary wildly); 21 probes should cut the
+        # worst worker's overload substantially.
+        assert self._spread(21) < self._spread(1)
+
+    def test_default_probe_peak_bounded(self):
+        assert self._spread(21) < 2.0
+
+    @pytest.mark.parametrize("probes", [1, 5, 21, 64])
+    def test_every_probe_count_covers_all_workers(self, probes):
+        ring = MultiProbeHashRing(probes=probes)
+        for i in range(6):
+            ring.add_worker(f"w{i}")
+        counts = ring.load_distribution(keys(1200))
+        assert set(counts) == {f"w{i}" for i in range(6)}
+        assert all(v > 0 for v in counts.values())
+
+
+class TestMinimalMovement:
+    def test_remove_moves_about_one_over_n(self):
+        ring = MultiProbeHashRing()
+        for i in range(6):
+            ring.add_worker(f"w{i}")
+        before = ring.assignment(keys(600))
+        ring.remove_worker("w3")
+        after = ring.assignment(keys(600))
+        moved = sum(1 for k in before if before[k] != after[k])
+        # Exactly the victim's keys move, nothing else: ideal 1/6.
+        assert moved == sum(1 for k in before if before[k] == "w3")
+        assert 0.03 < moved / 600 < 0.4
+
+    def test_sequential_growth_cumulative_movement(self):
+        """Growing 2 → 8 one worker at a time never reshuffles keys that
+        both sides of a step still host."""
+        ring = MultiProbeHashRing()
+        ring.add_worker("w0")
+        ring.add_worker("w1")
+        snapshot = ring.assignment(keys(400))
+        for i in range(2, 8):
+            ring.add_worker(f"w{i}")
+            current = ring.assignment(keys(400))
+            for key, owner in snapshot.items():
+                if current[key] != owner:
+                    assert current[key] == f"w{i}"
+            snapshot = current
+
+
+class TestSeededChurn:
+    """Determinism under membership churn: the ring is a pure function
+    of its member set, regardless of arrival order or history."""
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=0, max_value=9)),
+            min_size=1, max_size=30,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_history_independent(self, ops):
+        churned = MultiProbeHashRing()
+        members = set()
+        for add, idx in ops:
+            name = f"w{idx}"
+            if add:
+                churned.add_worker(name)
+                members.add(name)
+            else:
+                churned.remove_worker(name)
+                members.discard(name)
+        fresh = MultiProbeHashRing()
+        for name in sorted(members):
+            fresh.add_worker(name)
+        probe_keys = keys(60)
+        if not members:
+            with pytest.raises(NoWorkersError):
+                churned.assign("seg")
+            return
+        assert churned.assignment(probe_keys) == fresh.assignment(probe_keys)
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_seeded_replay_is_identical(self, seed):
+        import random
+
+        def replay():
+            rng = random.Random(seed)
+            ring = MultiProbeHashRing()
+            members = set()
+            for _ in range(40):
+                name = f"w{rng.randrange(12)}"
+                if name in members and rng.random() < 0.4:
+                    ring.remove_worker(name)
+                    members.discard(name)
+                else:
+                    ring.add_worker(name)
+                    members.add(name)
+            if not members:
+                ring.add_worker("w0")
+            return ring.assignment(keys(80))
+
+        assert replay() == replay()

@@ -96,6 +96,9 @@ class TestModeEquivalence:
         thread, process = both_modes(db, _topk_sql(query))
         assert process.rows == thread.rows
         assert all(row[0] >= 50 for row in process.rows)
+        # The committed bitmaps travelled as shared-memory attach
+        # handles, not per-scan pickles.
+        assert db.metrics.count("procpool.bitmap_shm_ships") > 0
 
     def test_as_of_snapshot_identical(self, rng, name):
         db = _engine(rng, name)

@@ -1,0 +1,228 @@
+"""Tests for the shared (disaggregated) block cache tier and the
+per-segment access statistics that drive fleet preloading."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.engine import ClusteredBlendHouse
+from repro.cluster.stats import SegmentAccessStats
+from repro.storage.blockcache import SharedBlockCache
+from repro.storage.cache import HierarchicalIndexCache, SplitIndexCache
+from repro.storage.localdisk import LocalDisk
+
+from tests.helpers import vector_sql
+
+
+class TestSharedBlockCache:
+    def test_put_get_roundtrip(self, clock, cost):
+        cache = SharedBlockCache(clock, cost, capacity_bytes=1 << 20)
+        cache.put("idx", b"payload")
+        assert "idx" in cache
+        assert cache.get("idx") == b"payload"
+        assert cache.hits == 1
+
+    def test_miss_counts_and_returns_none(self, clock, cost):
+        cache = SharedBlockCache(clock, cost, capacity_bytes=1 << 20)
+        assert cache.get("ghost") is None
+        assert cache.misses == 1
+
+    def test_hit_charges_rpc_time(self, clock, cost):
+        cache = SharedBlockCache(clock, cost, capacity_bytes=1 << 20)
+        payload = b"x" * 4096
+        cache.put("idx", payload)
+        before = clock.now
+        cache.get("idx")
+        charged = clock.now - before
+        assert charged == pytest.approx(cost.rpc_call(64, len(payload)))
+        # The whole point of the tier: cheaper than re-reading the
+        # object store, dearer than the local disk.
+        assert charged < cost.object_store_read(len(payload))
+        assert charged > cost.disk_read(len(payload))
+
+    def test_put_is_free_and_probe_is_free(self, clock, cost):
+        cache = SharedBlockCache(clock, cost, capacity_bytes=1 << 20)
+        before = clock.now
+        cache.put("idx", b"x" * 1024)
+        assert "idx" in cache
+        assert clock.now == before  # write-behind + membership probes
+
+    def test_capacity_eviction(self, clock, cost):
+        cache = SharedBlockCache(clock, cost, capacity_bytes=8)
+        cache.put("a", b"xxxx")
+        cache.put("b", b"xxxx")
+        cache.put("c", b"xxxx")  # evicts a (LRU)
+        assert "a" not in cache and "c" in cache
+        assert cache.used_bytes <= 8
+
+    def test_invalidate(self, clock, cost):
+        cache = SharedBlockCache(clock, cost, capacity_bytes=1 << 20)
+        cache.put("idx", b"payload")
+        cache.invalidate("idx")
+        assert "idx" not in cache
+
+
+class _FakeIndex:
+    def __init__(self, payload: bytes) -> None:
+        self.payload = payload
+
+    def memory_bytes(self) -> int:
+        return len(self.payload)
+
+
+@pytest.fixture
+def shared_hierarchy(clock, cost, metrics, store):
+    shared = SharedBlockCache(clock, cost, capacity_bytes=1 << 20)
+    caches = []
+    for _ in range(2):
+        memory = SplitIndexCache(1 << 20, 1 << 20)
+        disk = LocalDisk(clock, 1 << 20, cost, metrics)
+        caches.append(
+            HierarchicalIndexCache(
+                clock, memory, disk, store, deserialize=_FakeIndex,
+                cost_model=cost, metrics=metrics, shared=shared,
+            )
+        )
+    return caches, shared, store
+
+
+class TestSharedTierInHierarchy:
+    def test_second_cache_hits_shared_not_remote(self, shared_hierarchy):
+        (first, second), shared, store = shared_hierarchy
+        store.put("idx", b"payload")
+        _, tier1 = first.get("idx")
+        assert tier1 == "remote"  # cold fleet: object store pays once
+        _, tier2 = second.get("idx")
+        assert tier2 == "shared"  # peer promoted it; RPC, not re-fetch
+        assert shared.hits == 1
+
+    def test_shared_hit_backfills_lower_tiers(self, shared_hierarchy):
+        (first, second), shared, store = shared_hierarchy
+        store.put("idx", b"payload")
+        first.get("idx")
+        second.get("idx")
+        _, tier = second.get("idx")
+        assert tier == "memory"
+
+    def test_preload_uses_shared_pool(self, shared_hierarchy, clock, cost):
+        (first, second), shared, store = shared_hierarchy
+        store.put("idx", b"x" * 2048)
+        first.get("idx")
+        before = clock.now
+        assert second.preload("idx")
+        charged = clock.now - before
+        # Preload pulled from the shared tier, not the object store.
+        assert charged < cost.object_store_read(2048)
+
+    def test_invalidate_propagates_to_shared(self, shared_hierarchy):
+        (first, _second), shared, store = shared_hierarchy
+        store.put("idx", b"payload")
+        first.get("idx")
+        assert "idx" in shared
+        first.invalidate("idx")
+        assert "idx" not in shared
+
+
+class TestSegmentAccessStats:
+    def test_hit_and_miss_tiers(self):
+        stats = SegmentAccessStats()
+        stats.record("seg-a", "local", now=1.0)
+        stats.record("seg-a", "shared", now=2.0)
+        stats.record("seg-a", "serving", now=3.0)
+        access = stats.get("seg-a")
+        assert access.hits == 2 and access.misses == 1
+        assert access.last_access == 3.0
+        assert access.tiers == {"local": 1, "shared": 1, "serving": 1}
+
+    def test_hot_segments_ranked_by_heat(self):
+        stats = SegmentAccessStats()
+        for _ in range(3):
+            stats.record("seg-hot", "local", now=1.0)
+        stats.record("seg-warm", "disk", now=2.0)
+        assert stats.hot_segments() == ["seg-hot", "seg-warm"]
+        assert stats.hot_segments(limit=1) == ["seg-hot"]
+
+    def test_preloads_do_not_count_as_heat(self):
+        stats = SegmentAccessStats()
+        stats.record_preload("seg-a", now=1.0)
+        assert stats.hot_segments() == []
+        assert stats.get("seg-a").preloads == 1
+
+    def test_merge_from(self):
+        a, b = SegmentAccessStats(), SegmentAccessStats()
+        a.record("seg", "local", now=1.0)
+        b.record("seg", "remote", now=5.0)
+        merged = SegmentAccessStats()
+        merged.merge_from([a, b])
+        access = merged.get("seg")
+        assert access.hits == 1 and access.misses == 1
+        assert access.last_access == 5.0
+        assert merged.hit_rate() == 0.5
+
+
+@pytest.fixture
+def shared_cluster():
+    engine = ClusteredBlendHouse(
+        read_workers=2, shared_cache_bytes=64 << 20
+    )
+    engine.execute(
+        "CREATE TABLE docs (id UInt64, embedding Array(Float32), "
+        "INDEX ann embedding TYPE FLAT('DIM=8'))"
+    )
+    engine.db.table("docs").writer.config.max_segment_rows = 100
+    rng = np.random.default_rng(0)
+    rows = [
+        {"id": i, "embedding": rng.normal(size=8).astype(np.float32)}
+        for i in range(400)
+    ]
+    engine.insert_rows("docs", rows)
+    engine._rows = rows
+    return engine
+
+
+class TestClusterSharedCache:
+    def test_export_metrics_records_segment_stats(self, shared_cluster):
+        engine = shared_cluster
+        engine.preload("docs")
+        query = shared_cluster._rows[17]["embedding"]
+        engine.execute(
+            f"SELECT id FROM docs ORDER BY "
+            f"L2Distance(embedding, {vector_sql(query)}) LIMIT 5"
+        )
+        exported = engine.read_vw.export_metrics()
+        assert exported["name"] == "read-vw"
+        assert exported["segments"], "per-segment stats must be recorded"
+        assert exported["hit_rate"] > 0.0
+        for entry in exported["segments"].values():
+            assert set(entry) >= {"hits", "misses", "preloads", "tiers"}
+
+    def test_preload_counts_per_segment(self, shared_cluster):
+        engine = shared_cluster
+        loaded = engine.preload("docs")
+        assert loaded > 0
+        snapshot = engine.read_vw.access_stats.snapshot()
+        assert sum(entry["preloads"] for entry in snapshot.values()) == loaded
+
+    def test_results_identical_with_and_without_shared_tier(self):
+        def run(shared_bytes):
+            engine = ClusteredBlendHouse(
+                read_workers=2, shared_cache_bytes=shared_bytes
+            )
+            engine.execute(
+                "CREATE TABLE docs (id UInt64, embedding Array(Float32), "
+                "INDEX ann embedding TYPE FLAT('DIM=8'))"
+            )
+            engine.db.table("docs").writer.config.max_segment_rows = 100
+            rng = np.random.default_rng(1)
+            rows = [
+                {"id": i, "embedding": rng.normal(size=8).astype(np.float32)}
+                for i in range(300)
+            ]
+            engine.insert_rows("docs", rows)
+            query = rows[11]["embedding"]
+            result = engine.execute(
+                f"SELECT id FROM docs ORDER BY "
+                f"L2Distance(embedding, {vector_sql(query)}) LIMIT 8"
+            )
+            return [row[0] for row in result.rows]
+
+        assert run(0) == run(64 << 20)
